@@ -1,0 +1,174 @@
+// Command arqnet runs the message-level overlay simulation, comparing a
+// chosen routing strategy against flooding on the same topology and
+// workload, optionally on the concurrent goroutine-per-peer engine.
+//
+//	arqnet -router assoc -nodes 2000 -queries 5000
+//	arqnet -router kwalk -walkers 16
+//	arqnet -router flood -engine actor -parallel 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sync"
+
+	"arq/internal/content"
+	"arq/internal/metrics"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/routing"
+	"arq/internal/stats"
+)
+
+var (
+	router   = flag.String("router", "assoc", "flood | expring | kwalk | assoc | assoc2ph | ri | shortcuts")
+	topology = flag.String("topology", "gnutella", "gnutella | random | smallworld")
+	nodes    = flag.Int("nodes", 2000, "overlay size")
+	nq       = flag.Int("queries", 5000, "measured queries")
+	warm     = flag.Int("warm", 20000, "warm-up queries for learning strategies")
+	ttl      = flag.Int("ttl", 7, "query TTL")
+	walkers  = flag.Int("walkers", 16, "k for k-random walks")
+	seed     = flag.Uint64("seed", 42, "seed for topology, content, and workload")
+	engine   = flag.String("engine", "sequential", "sequential | actor (flood/kwalk only)")
+	parallel = flag.Int("parallel", 4, "concurrent query issuers on the actor engine")
+)
+
+func main() {
+	flag.Parse()
+	rng := stats.NewRNG(*seed)
+
+	var g *overlay.Graph
+	switch *topology {
+	case "gnutella":
+		g = overlay.GnutellaLike(rng, *nodes)
+	case "random":
+		g = overlay.Random(rng, *nodes, 4)
+	case "smallworld":
+		g = overlay.WattsStrogatz(rng, *nodes, 4, 0.1)
+	default:
+		fmt.Fprintf(os.Stderr, "arqnet: unknown topology %q\n", *topology)
+		os.Exit(2)
+	}
+	model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+
+	if *engine == "actor" {
+		runActor(g, model)
+		return
+	}
+
+	// Baseline flood for comparison.
+	ef := peer.NewEngine(g, model, func(u int) peer.Router { return routing.Flood{} })
+	floodAgg := peer.Summarize(routing.RunWorkload(stats.NewRNG(*seed+1),
+		&routing.OneShot{Label: "flood", E: ef, TTL: *ttl}, ef, *nq))
+
+	searcher, e, needsWarm, err := buildSearcher(g, model)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if needsWarm {
+		routing.RunWorkload(stats.NewRNG(*seed+2), searcher, e, *warm)
+	}
+	agg := peer.Summarize(routing.RunWorkload(stats.NewRNG(*seed+1), searcher, e, *nq))
+
+	t := metrics.NewTable(fmt.Sprintf("%s on %s (%d nodes, TTL %d, %d queries)",
+		searcher.Name(), *topology, *nodes, *ttl, *nq),
+		"strategy", "success", "msgs/query", "dup/query", "hit hops", "nodes reached")
+	addRow := func(name string, a peer.Aggregate) {
+		t.AddRow(name, a.SuccessRate, fmt.Sprintf("%.0f", a.AvgMessages),
+			fmt.Sprintf("%.0f", a.AvgDuplicates), fmt.Sprintf("%.2f", a.AvgHitHops),
+			fmt.Sprintf("%.0f", a.AvgReached))
+	}
+	addRow("flooding (baseline)", floodAgg)
+	addRow(searcher.Name(), agg)
+	fmt.Println(t.String())
+	if floodAgg.AvgMessages > 0 {
+		fmt.Printf("traffic vs flooding: %.1f%%\n", 100*agg.AvgMessages/floodAgg.AvgMessages)
+	}
+}
+
+func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, *peer.Engine, bool, error) {
+	mk := func(f func(u int) peer.Router) *peer.Engine { return peer.NewEngine(g, model, f) }
+	switch *router {
+	case "flood":
+		e := mk(func(u int) peer.Router { return routing.Flood{} })
+		return &routing.OneShot{Label: "flood", E: e, TTL: *ttl}, e, false, nil
+	case "expring":
+		e := mk(func(u int) peer.Router { return routing.Flood{} })
+		return &routing.ExpandingRing{E: e, Start: 1, Step: 2, Max: *ttl}, e, false, nil
+	case "kwalk":
+		wrng := stats.NewRNG(*seed + 3)
+		e := mk(func(u int) peer.Router { return &routing.RandomWalk{K: *walkers, RNG: wrng.Split()} })
+		return &routing.OneShot{Label: "k-walk", E: e, TTL: 1024}, e, false, nil
+	case "assoc":
+		e := mk(func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) })
+		return &routing.OneShot{Label: "assoc", E: e, TTL: *ttl}, e, true, nil
+	case "assoc2ph":
+		cfg := routing.DefaultAssocConfig()
+		cfg.Strict = true
+		e := mk(func(u int) peer.Router { return routing.NewAssoc(cfg) })
+		return &routing.AssocTwoPhase{E: e, TTL: *ttl}, e, true, nil
+	case "ri":
+		idx := routing.BuildRoutingIndices(g, model.HostedCategories, 4, 2)
+		e := mk(func(u int) peer.Router { return idx[u] })
+		return &routing.OneShot{Label: "routing-index", E: e, TTL: *ttl}, e, false, nil
+	case "shortcuts":
+		e := mk(func(u int) peer.Router { return routing.Flood{} })
+		return routing.NewShortcuts(e, *ttl, 5, 10), e, true, nil
+	default:
+		return nil, nil, false, fmt.Errorf("arqnet: unknown router %q", *router)
+	}
+}
+
+// runActor exercises the goroutine-per-peer engine with several concurrent
+// query issuers.
+func runActor(g *overlay.Graph, model *content.Model) {
+	var factory func(u int) peer.Router
+	switch *router {
+	case "flood":
+		factory = func(u int) peer.Router { return routing.Flood{} }
+	case "kwalk":
+		wrng := stats.NewRNG(*seed + 3)
+		var mu sync.Mutex
+		factory = func(u int) peer.Router {
+			mu.Lock()
+			defer mu.Unlock()
+			return &routing.RandomWalk{K: *walkers, RNG: wrng.Split()}
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "arqnet: actor engine supports flood and kwalk, not %q\n", *router)
+		os.Exit(2)
+	}
+	net := peer.NewActorNet(g, model, factory)
+	defer net.Close()
+
+	queryTTL := *ttl
+	if *router == "kwalk" {
+		queryTTL = 1024
+	}
+	perIssuer := *nq / *parallel
+	results := make([][]peer.Stats, *parallel)
+	var wg sync.WaitGroup
+	for i := 0; i < *parallel; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := stats.NewRNG(*seed + 100 + uint64(i))
+			for j := 0; j < perIssuer; j++ {
+				origin := r.Intn(g.N())
+				results[i] = append(results[i], net.RunQuery(origin, model.DrawQuery(r, origin), queryTTL))
+			}
+		}(i)
+	}
+	wg.Wait()
+	var all []peer.Stats
+	for _, rs := range results {
+		all = append(all, rs...)
+	}
+	a := peer.Summarize(all)
+	fmt.Printf("actor engine: %d nodes, %d goroutine peers, %d concurrent issuers\n",
+		g.N(), g.N(), *parallel)
+	fmt.Printf("%s: success=%.3f msgs/query=%.0f hit-hops=%.2f\n",
+		*router, a.SuccessRate, a.AvgMessages, a.AvgHitHops)
+}

@@ -1,0 +1,120 @@
+// Command arqsim runs one trace-driven rule-maintenance simulation — the
+// equivalent of the paper's PHP query simulator (§IV-B) — and prints the
+// per-block coverage and success series.
+//
+// The trace comes either from the built-in calibrated generator or from a
+// JSONL pair file produced by arqtrace:
+//
+//	arqsim -policy sliding -trials 365
+//	arqsim -policy adaptive -window 50 -threshold 10
+//	arqsim -policy lazy -interval 10 -trace pairs.jsonl -block 10000
+//	arqsim -policy sliding -csv > sliding.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arq/internal/core"
+	"arq/internal/sim"
+	"arq/internal/trace"
+	"arq/internal/tracegen"
+)
+
+var (
+	policy    = flag.String("policy", "sliding", "static | sliding | lazy | adaptive | incremental")
+	threshold = flag.Int("threshold", 10, "support-pruning threshold")
+	blockSize = flag.Int("block", 10000, "query-reply pairs per block")
+	trials    = flag.Int("trials", 365, "tested blocks")
+	seed      = flag.Uint64("seed", 1, "generator seed (ignored with -trace)")
+	interval  = flag.Int("interval", 10, "lazy: blocks between regenerations")
+	window    = flag.Int("window", 10, "adaptive: previous values used for thresholds")
+	initThr   = flag.Float64("init", 0.7, "adaptive: initial coverage/success threshold")
+	traceFile = flag.String("trace", "", "JSONL trace of pairs (default: built-in generator)")
+	csvOut    = flag.Bool("csv", false, "emit per-block CSV instead of a report")
+	everyN    = flag.Int("every", 10, "print every Nth block in report mode")
+)
+
+func main() {
+	flag.Parse()
+
+	p, err := buildPolicy()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	src, err := buildSource()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	res := sim.Run(*policy, p, src, *trials)
+
+	if *csvOut {
+		fmt.Print("block,coverage,success\n")
+		for i := range res.Coverage.Values {
+			fmt.Printf("%d,%.6f,%.6f\n", i+1, res.Coverage.Values[i], res.Success.Values[i])
+		}
+		return
+	}
+
+	fmt.Printf("policy=%s threshold=%d block=%d trials=%d\n",
+		*policy, *threshold, *blockSize, res.Trials)
+	fmt.Printf("%-7s %-10s %-10s\n", "block", "coverage", "success")
+	for i := 0; i < res.Trials; i += *everyN {
+		fmt.Printf("%-7d %-10.3f %-10.3f\n", i+1,
+			res.Coverage.Values[i], res.Success.Values[i])
+	}
+	fmt.Println()
+	fmt.Printf("coverage  %s  avg=%.3f\n", res.Coverage.Sparkline(60), res.MeanCoverage())
+	fmt.Printf("success   %s  avg=%.3f\n", res.Success.Sparkline(60), res.MeanSuccess())
+	fmt.Printf("rule-set generations after warm-up: %d", res.Regens)
+	if res.Regens > 0 {
+		fmt.Printf(" (one per %.2f blocks)", res.BlocksPerRegen())
+	}
+	fmt.Println()
+	fmt.Printf("rule-set size: mean %.0f rules (min %.0f, max %.0f)\n",
+		res.RuleCount.Mean(), res.RuleCount.Min(), res.RuleCount.Max())
+}
+
+func buildPolicy() (core.Policy, error) {
+	switch *policy {
+	case "static":
+		return &core.Static{Prune: *threshold}, nil
+	case "sliding":
+		return &core.Sliding{Prune: *threshold}, nil
+	case "lazy":
+		return &core.Lazy{Prune: *threshold, Interval: *interval}, nil
+	case "adaptive":
+		return &core.Adaptive{Prune: *threshold, Window: *window, Init: *initThr}, nil
+	case "incremental":
+		return &core.Incremental{}, nil
+	default:
+		return nil, fmt.Errorf("arqsim: unknown policy %q", *policy)
+	}
+}
+
+func buildSource() (trace.Source, error) {
+	if *traceFile == "" {
+		cfg := tracegen.PaperProfile()
+		cfg.Seed = *seed
+		cfg.BlockSize = *blockSize
+		cfg.TotalBlocks = *trials + 1
+		return tracegen.New(cfg), nil
+	}
+	f, err := os.Open(*traceFile)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	_, _, pairs, err := trace.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	if len(pairs) == 0 {
+		return nil, fmt.Errorf("arqsim: %s holds no query-reply pairs", *traceFile)
+	}
+	return trace.NewSliceSource(pairs, *blockSize), nil
+}

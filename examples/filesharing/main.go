@@ -1,0 +1,80 @@
+// Filesharing: deploy the association-rule router inside a full
+// message-level Gnutella-like network — the workload the paper's
+// introduction motivates — and compare its traffic against flooding and
+// k-random walks on the same topology, content, and queries.
+package main
+
+import (
+	"fmt"
+
+	"arq/internal/content"
+	"arq/internal/metrics"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/routing"
+	"arq/internal/stats"
+)
+
+func main() {
+	const (
+		nodes = 1500
+		ttl   = 7
+		warm  = 15000
+		nq    = 2000
+	)
+	rng := stats.NewRNG(2006)
+
+	// A power-law overlay like measured Gnutella snapshots, with
+	// community-clustered interests (interest-based locality).
+	g := overlay.GnutellaLike(rng, nodes)
+	model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+	ds := g.DegreeStats()
+	fmt.Printf("overlay: %d nodes, %d edges, degree mean %.1f max %.0f\n",
+		g.N(), g.M(), ds.Mean(), ds.Max())
+
+	// Three networks, identical except for the router at every node.
+	flood := peer.NewEngine(g, model, func(u int) peer.Router { return routing.Flood{} })
+	wrng := stats.NewRNG(7)
+	walks := peer.NewEngine(g, model, func(u int) peer.Router {
+		return &routing.RandomWalk{K: 16, RNG: wrng.Split()}
+	})
+	assoc := peer.NewEngine(g, model, func(u int) peer.Router {
+		return routing.NewAssoc(routing.DefaultAssocConfig())
+	})
+
+	// The association-rule nodes learn from live traffic first.
+	fmt.Printf("warming association rules with %d queries...\n", warm)
+	routing.RunWorkload(stats.NewRNG(3), &routing.OneShot{Label: "assoc", E: assoc, TTL: ttl}, assoc, warm)
+	rules := 0
+	for u := 0; u < nodes; u++ {
+		rules += assoc.Routers[u].(*routing.Assoc).RuleCount()
+	}
+	fmt.Printf("network now holds %d routing rules (%.1f per node)\n\n",
+		rules, float64(rules)/nodes)
+
+	// Identical measured workloads (same seed).
+	t := metrics.NewTable("Same 2000 queries under each router",
+		"router", "success", "msgs/query", "vs flood", "hit hops")
+	var floodMsgs float64
+	for _, e := range []struct {
+		name string
+		s    routing.Searcher
+		eng  *peer.Engine
+	}{
+		{"flooding", &routing.OneShot{Label: "flood", E: flood, TTL: ttl}, flood},
+		{"16-random walks", &routing.OneShot{Label: "kwalk", E: walks, TTL: 1024}, walks},
+		{"association rules", &routing.OneShot{Label: "assoc", E: assoc, TTL: ttl}, assoc},
+	} {
+		agg := peer.Summarize(routing.RunWorkload(stats.NewRNG(11), e.s, e.eng, nq))
+		if e.name == "flooding" {
+			floodMsgs = agg.AvgMessages
+		}
+		t.AddRow(e.name, agg.SuccessRate, fmt.Sprintf("%.0f", agg.AvgMessages),
+			fmt.Sprintf("%.0f%%", 100*agg.AvgMessages/floodMsgs),
+			fmt.Sprintf("%.2f", agg.AvgHitHops))
+	}
+	fmt.Println(t.String())
+	fmt.Println("Association rules keep near-flooding success while forwarding each")
+	fmt.Println("query to only the top consequent neighbors, flooding just the")
+	fmt.Println("uncovered remainder — the paper's traffic-reduction claim.")
+}

@@ -1,0 +1,3 @@
+module arq
+
+go 1.22

@@ -1,0 +1,150 @@
+package assoc
+
+import "sort"
+
+// FPGrowth mines the same frequent itemsets as Apriori using the FP-growth
+// algorithm of Han, Pei & Yin: transactions are compressed into a prefix
+// tree (FP-tree) ordered by descending item frequency, and frequent
+// itemsets are enumerated by recursively projecting conditional trees —
+// no candidate generation and no repeated corpus scans. On the dense,
+// correlated transaction sets query routing produces it is substantially
+// faster than Apriori at low thresholds (see BenchmarkMinerComparison);
+// the test suite cross-checks both miners for exact agreement.
+//
+// Results are returned in the same deterministic order as Apriori: grouped
+// by itemset size, sorted by itemset key within a group.
+func FPGrowth(txs []Transaction, minCount, maxLen int) []FrequentItemset {
+	if minCount < 1 {
+		minCount = 1
+	}
+	// Pass 1: item frequencies.
+	counts := make(map[Item]int)
+	for _, tx := range txs {
+		for _, it := range tx {
+			counts[it]++
+		}
+	}
+	frequent := make(map[Item]int)
+	for it, c := range counts {
+		if c >= minCount {
+			frequent[it] = c
+		}
+	}
+	if len(frequent) == 0 {
+		return nil
+	}
+	// Global order: descending frequency, ascending item as tiebreak.
+	order := make([]Item, 0, len(frequent))
+	for it := range frequent {
+		order = append(order, it)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if frequent[order[i]] != frequent[order[j]] {
+			return frequent[order[i]] > frequent[order[j]]
+		}
+		return order[i] < order[j]
+	})
+	rank := make(map[Item]int, len(order))
+	for i, it := range order {
+		rank[it] = i
+	}
+
+	// Pass 2: build the FP-tree.
+	root := &fpNode{}
+	heads := make([]*fpNode, len(order)) // header table: rank -> chain
+	var filtered []Item
+	for _, tx := range txs {
+		filtered = filtered[:0]
+		for _, it := range tx {
+			if _, ok := frequent[it]; ok {
+				filtered = append(filtered, it)
+			}
+		}
+		sort.Slice(filtered, func(i, j int) bool {
+			return rank[filtered[i]] < rank[filtered[j]]
+		})
+		insertFP(root, heads, rank, filtered, 1)
+	}
+
+	// Mine and restore deterministic output order.
+	var out []FrequentItemset
+	mineFP(heads, order, rank, nil, minCount, maxLen, &out)
+	sort.Slice(out, func(i, j int) bool {
+		if len(out[i].Items) != len(out[j].Items) {
+			return len(out[i].Items) < len(out[j].Items)
+		}
+		return less(out[i].Items, out[j].Items)
+	})
+	return out
+}
+
+type fpNode struct {
+	item     Item
+	rank     int
+	count    int
+	parent   *fpNode
+	children map[Item]*fpNode
+	next     *fpNode // header-table chain
+}
+
+func insertFP(root *fpNode, heads []*fpNode, rank map[Item]int, items []Item, count int) {
+	node := root
+	for _, it := range items {
+		child := node.children[it]
+		if child == nil {
+			child = &fpNode{item: it, rank: rank[it], parent: node}
+			if node.children == nil {
+				node.children = make(map[Item]*fpNode)
+			}
+			node.children[it] = child
+			r := rank[it]
+			child.next = heads[r]
+			heads[r] = child
+		}
+		child.count += count
+		node = child
+	}
+}
+
+// mineFP walks items from least to most frequent, emitting suffix+item and
+// recursing on the conditional tree.
+func mineFP(heads []*fpNode, order []Item, rank map[Item]int, suffix Itemset, minCount, maxLen int, out *[]FrequentItemset) {
+	for r := len(heads) - 1; r >= 0; r-- {
+		head := heads[r]
+		if head == nil {
+			continue
+		}
+		total := 0
+		for n := head; n != nil; n = n.next {
+			total += n.count
+		}
+		if total < minCount {
+			continue
+		}
+		itemset := append(append(Itemset{}, suffix...), order[r])
+		sort.Slice(itemset, func(i, j int) bool { return itemset[i] < itemset[j] })
+		*out = append(*out, FrequentItemset{Items: itemset, Count: total})
+		if maxLen > 0 && len(itemset) >= maxLen {
+			continue
+		}
+		// Build the conditional tree from prefix paths of this item.
+		condHeads := make([]*fpNode, r) // only higher-ranked items appear above
+		condRoot := &fpNode{}
+		var path []Item
+		for n := head; n != nil; n = n.next {
+			path = path[:0]
+			for p := n.parent; p != nil && p.parent != nil; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is bottom-up; reverse into rank order (ancestors have
+			// smaller rank, so reversing yields ascending rank).
+			for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+				path[i], path[j] = path[j], path[i]
+			}
+			if len(path) > 0 {
+				insertFP(condRoot, condHeads, rank, path, n.count)
+			}
+		}
+		mineFP(condHeads, order, rank, itemset, minCount, maxLen, out)
+	}
+}

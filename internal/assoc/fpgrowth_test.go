@@ -1,0 +1,110 @@
+package assoc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arq/internal/stats"
+)
+
+func itemsetsEqual(a, b []FrequentItemset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := map[string]int{}
+	for _, f := range a {
+		am[f.Items.Key()] = f.Count
+	}
+	for _, f := range b {
+		if am[f.Items.Key()] != f.Count {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFPGrowthMatchesAprioriMarketBasket(t *testing.T) {
+	txs := marketBasket()
+	for _, min := range []int{1, 2, 3} {
+		ap := Apriori(txs, min, 0)
+		fp := FPGrowth(txs, min, 0)
+		if !itemsetsEqual(ap, fp) {
+			t.Fatalf("minCount=%d: apriori %v vs fpgrowth %v", min, ap, fp)
+		}
+	}
+}
+
+func TestFPGrowthMatchesAprioriQuick(t *testing.T) {
+	f := func(raw [][3]uint8, minRaw uint8) bool {
+		if len(raw) > 60 {
+			raw = raw[:60]
+		}
+		txs := make([]Transaction, len(raw))
+		for i, r := range raw {
+			txs[i] = NewItemset(Item(r[0]%7), Item(r[1]%7), Item(r[2]%7))
+		}
+		min := int(minRaw%4) + 1
+		return itemsetsEqual(Apriori(txs, min, 0), FPGrowth(txs, min, 0))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFPGrowthMaxLen(t *testing.T) {
+	txs := marketBasket()
+	for _, f := range FPGrowth(txs, 1, 2) {
+		if len(f.Items) > 2 {
+			t.Fatalf("maxLen=2 produced %v", f.Items)
+		}
+	}
+	if !itemsetsEqual(Apriori(txs, 1, 2), FPGrowth(txs, 1, 2)) {
+		t.Fatal("maxLen-bounded miners disagree")
+	}
+}
+
+func TestFPGrowthEmptyAndAllInfrequent(t *testing.T) {
+	if got := FPGrowth(nil, 2, 0); got != nil {
+		t.Fatalf("empty corpus mined %v", got)
+	}
+	txs := []Transaction{tx(1), tx(2), tx(3)}
+	if got := FPGrowth(txs, 2, 0); got != nil {
+		t.Fatalf("all-infrequent corpus mined %v", got)
+	}
+}
+
+func TestFPGrowthDeterministicOrder(t *testing.T) {
+	txs := marketBasket()
+	a := FPGrowth(txs, 1, 0)
+	b := FPGrowth(txs, 1, 0)
+	for i := range a {
+		if !a[i].Items.Equal(b[i].Items) || a[i].Count != b[i].Count {
+			t.Fatalf("order differs at %d", i)
+		}
+	}
+	// Same order as Apriori output.
+	ap := Apriori(txs, 1, 0)
+	for i := range a {
+		if !a[i].Items.Equal(ap[i].Items) {
+			t.Fatalf("fpgrowth order differs from apriori at %d: %v vs %v",
+				i, a[i].Items, ap[i].Items)
+		}
+	}
+}
+
+func TestFPGrowthLargeRandomCorpus(t *testing.T) {
+	rng := stats.NewRNG(5)
+	z := stats.NewZipf(40, 1.0)
+	txs := make([]Transaction, 2000)
+	for i := range txs {
+		n := 2 + rng.Intn(4)
+		items := make([]Item, n)
+		for j := range items {
+			items[j] = Item(z.Sample(rng))
+		}
+		txs[i] = NewItemset(items...)
+	}
+	if !itemsetsEqual(Apriori(txs, 20, 3), FPGrowth(txs, 20, 3)) {
+		t.Fatal("miners disagree on zipf corpus")
+	}
+}

@@ -1,0 +1,142 @@
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Rule is an association rule {Antecedent} => {Consequent} with its
+// interestingness measures over the mining corpus (paper §III-A):
+//
+//   - Support: fraction of all transactions containing both sides;
+//   - Confidence: fraction of transactions containing the antecedent that
+//     also contain the consequent;
+//   - Lift: confidence divided by the consequent's baseline support
+//     (lift > 1 means the antecedent genuinely raises the odds of the
+//     consequent, separating {Diapers}=>{Beer} from {Caviar}=>{Sugar}
+//     coincidences).
+type Rule struct {
+	Antecedent Itemset
+	Consequent Itemset
+	Support    float64
+	Confidence float64
+	Lift       float64
+	Count      int // transactions containing both sides
+}
+
+// String renders the rule in the paper's notation.
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} => {%s} (sup=%.3f conf=%.3f lift=%.2f)",
+		r.Antecedent.Key(), r.Consequent.Key(), r.Support, r.Confidence, r.Lift)
+}
+
+// MineRules generates every rule A => B with A ∪ B frequent, A and B
+// non-empty and disjoint, support >= minSupport and confidence >=
+// minConfidence — support- and confidence-based pruning as described in
+// §III-A. n is the total number of transactions the frequent itemsets were
+// mined from. Output is deterministic: sorted by descending confidence,
+// then descending support, then antecedent/consequent keys.
+func MineRules(frequent []FrequentItemset, n int, minSupport, minConfidence float64) []Rule {
+	counts := make(map[string]int, len(frequent))
+	for _, f := range frequent {
+		counts[f.Items.Key()] = f.Count
+	}
+	var rules []Rule
+	for _, f := range frequent {
+		if len(f.Items) < 2 {
+			continue
+		}
+		sup := f.Support(n)
+		if sup < minSupport {
+			continue
+		}
+		for _, ante := range properNonEmptySubsets(f.Items) {
+			anteCount, ok := counts[ante.Key()]
+			if !ok || anteCount == 0 {
+				// Cannot happen for true Apriori output (subsets of a
+				// frequent set are frequent); guard for hand-built input.
+				continue
+			}
+			cons := f.Items.Minus(ante)
+			conf := float64(f.Count) / float64(anteCount)
+			if conf < minConfidence {
+				continue
+			}
+			lift := 0.0
+			if consCount, ok := counts[cons.Key()]; ok && consCount > 0 && n > 0 {
+				lift = conf / (float64(consCount) / float64(n))
+			}
+			rules = append(rules, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    sup,
+				Confidence: conf,
+				Lift:       lift,
+				Count:      f.Count,
+			})
+		}
+	}
+	sort.Slice(rules, func(i, j int) bool {
+		a, b := rules[i], rules[j]
+		if a.Confidence != b.Confidence {
+			return a.Confidence > b.Confidence
+		}
+		if a.Support != b.Support {
+			return a.Support > b.Support
+		}
+		ak, bk := a.Antecedent.Key(), b.Antecedent.Key()
+		if ak != bk {
+			return ak < bk
+		}
+		return a.Consequent.Key() < b.Consequent.Key()
+	})
+	return rules
+}
+
+// Conviction returns P(A)·P(¬B)/P(A∧¬B) for the rule, a directed
+// interestingness measure: 1 for independent sides, +Inf for rules that
+// never fail. n is the corpus size; anteCount and bothCount the
+// antecedent's and the rule's transaction counts, consSupport the
+// consequent's support fraction.
+func Conviction(n, anteCount, bothCount int, consSupport float64) float64 {
+	if n == 0 || anteCount == 0 {
+		return 0
+	}
+	fails := anteCount - bothCount
+	if fails <= 0 {
+		return math.Inf(1)
+	}
+	pa := float64(anteCount) / float64(n)
+	return pa * (1 - consSupport) / (float64(fails) / float64(n))
+}
+
+// Jaccard returns |A∧B| / |A∨B| for a rule's two sides — a symmetric
+// similarity in [0, 1].
+func Jaccard(anteCount, consCount, bothCount int) float64 {
+	union := anteCount + consCount - bothCount
+	if union <= 0 {
+		return 0
+	}
+	return float64(bothCount) / float64(union)
+}
+
+// properNonEmptySubsets enumerates all non-empty proper subsets of s.
+// s must have at most 30 items (far above any practical rule size here).
+func properNonEmptySubsets(s Itemset) []Itemset {
+	if len(s) > 30 {
+		panic("assoc: itemset too large for subset enumeration")
+	}
+	n := len(s)
+	var out []Itemset
+	for mask := 1; mask < (1<<n)-1; mask++ {
+		sub := make(Itemset, 0, n)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sub = append(sub, s[i])
+			}
+		}
+		out = append(out, sub)
+	}
+	return out
+}

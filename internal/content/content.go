@@ -1,0 +1,295 @@
+// Package content models shared content and query workloads for the
+// message-level network experiments: files grouped into interest
+// categories, Zipf-skewed replication (popular content is hosted by more
+// peers), per-peer interest profiles, and keyword-style query matching.
+// It is the network-side counterpart of the interest model the trace
+// generator applies at a single vantage node.
+package content
+
+import (
+	"fmt"
+
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// File is a shared item: a name plus the interest category it belongs to.
+type File struct {
+	Name     string
+	Category trace.InterestID
+}
+
+// Config parameterizes content placement and the query workload.
+type Config struct {
+	// Categories is the number of interest categories.
+	Categories int
+	// PopularityZipf skews which categories are replicated and queried.
+	PopularityZipf float64
+	// FilesPerNode is the mean number of files a peer shares.
+	FilesPerNode int
+	// FreeRiderFrac is the fraction of peers sharing nothing — a
+	// well-measured property of deployed file-sharing networks.
+	FreeRiderFrac float64
+	// ProfileSize is how many categories a peer's queries come from.
+	ProfileSize int
+	// Communities and CommunityBias control interest-based locality for
+	// BuildClustered: the overlay is partitioned into Communities regions
+	// (BFS Voronoi around random seeds), each with its own slice of
+	// categories, and a node draws each profile/hosted category from its
+	// community's slice with probability CommunityBias (else globally).
+	// Interest-based locality — nearby peers sharing interests — is the
+	// premise the paper's rules exploit (§III-B, [7][8][9]).
+	Communities   int
+	CommunityBias float64
+}
+
+// DefaultConfig returns the placement used by the network experiments.
+func DefaultConfig() Config {
+	return Config{
+		Categories:     200,
+		PopularityZipf: 0.9,
+		FilesPerNode:   8,
+		FreeRiderFrac:  0.25,
+		ProfileSize:    4,
+		Communities:    25,
+		CommunityBias:  0.8,
+	}
+}
+
+// Model holds content placement and interest profiles for every node of an
+// overlay. It is immutable after Build and safe for concurrent reads.
+type Model struct {
+	cfg      Config
+	pop      *stats.Zipf
+	hosts    [][]trace.InterestID // node -> categories it hosts (sorted sets not needed; small)
+	profiles [][]trace.InterestID // node -> categories it queries
+	replicas []int                // category -> number of hosting nodes
+	comm     []int                // node -> community label (nil when unclustered)
+}
+
+// Community returns node u's community label, or 0 for unclustered models.
+func (m *Model) Community(u int) int {
+	if m.comm == nil {
+		return 0
+	}
+	return m.comm[u]
+}
+
+// Build places content on n nodes without topology awareness. Placement
+// draws each node's files' categories from the Zipf popularity, so popular
+// categories end up widely replicated and the tail is rare — the regime
+// where blind flooding is expensive and locality-aware routing pays.
+func Build(rng *stats.RNG, n int, cfg Config) *Model {
+	return build(rng, n, cfg, nil)
+}
+
+// BuildClustered places content with interest-based locality over graph g:
+// nodes are partitioned into cfg.Communities BFS-Voronoi regions, each
+// community holds a contiguous slice of the category space, and each
+// node's hosted and queried categories come from its community's slice
+// with probability cfg.CommunityBias. Queries from one direction of the
+// overlay therefore tend to want — and find — the same content, which is
+// the locality the association-rule router exploits.
+func BuildClustered(rng *stats.RNG, g NeighborGraph, cfg Config) *Model {
+	comm := communities(rng, g, cfg.Communities)
+	return build(rng, g.N(), cfg, comm)
+}
+
+// NeighborGraph is the small overlay surface content placement needs,
+// satisfied by *overlay.Graph (kept as an interface to avoid a dependency
+// cycle and to ease testing).
+type NeighborGraph interface {
+	N() int
+	Neighbors(u int) []int32
+}
+
+// communities BFS-grows regions from k random seeds, labeling every node.
+func communities(rng *stats.RNG, g NeighborGraph, k int) []int {
+	n := g.N()
+	if k <= 0 {
+		k = 1
+	}
+	if k > n {
+		k = n
+	}
+	label := make([]int, n)
+	for i := range label {
+		label[i] = -1
+	}
+	var queue []int
+	for c, u := range stats.SampleWithoutReplacement(rng, n, k) {
+		label[u] = c
+		queue = append(queue, u)
+	}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, w := range g.Neighbors(u) {
+			if label[w] < 0 {
+				label[w] = label[u]
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	// Disconnected leftovers (shouldn't happen on connected overlays).
+	for i := range label {
+		if label[i] < 0 {
+			label[i] = rng.Intn(k)
+		}
+	}
+	return label
+}
+
+func build(rng *stats.RNG, n int, cfg Config, comm []int) *Model {
+	if cfg.Categories <= 0 {
+		cfg = DefaultConfig()
+	}
+	m := &Model{
+		cfg:      cfg,
+		pop:      stats.NewZipf(cfg.Categories, cfg.PopularityZipf),
+		hosts:    make([][]trace.InterestID, n),
+		profiles: make([][]trace.InterestID, n),
+		replicas: make([]int, cfg.Categories),
+		comm:     comm,
+	}
+	for u := 0; u < n; u++ {
+		m.Reassign(rng, u)
+	}
+	return m
+}
+
+// draw picks a category for node u: from its community's slice of the
+// category space with probability CommunityBias, else globally. The Zipf
+// rank is mapped into the community slice so each community has its own
+// popular head.
+func (m *Model) draw(rng *stats.RNG, u int) trace.InterestID {
+	rank := m.pop.Sample(rng)
+	if m.comm == nil || !rng.Bool(m.cfg.CommunityBias) {
+		return trace.InterestID(rank)
+	}
+	nComm := m.cfg.Communities
+	if nComm <= 0 {
+		nComm = 1
+	}
+	per := m.cfg.Categories / nComm
+	if per == 0 {
+		per = 1
+	}
+	return trace.InterestID((m.comm[u]*per + rank%per) % m.cfg.Categories)
+}
+
+// Reassign redraws node u's shared content and interest profile — the
+// content side of a peer leaving and a fresh one taking its place (churn).
+// Not safe concurrently with readers; pause queries while churning.
+func (m *Model) Reassign(rng *stats.RNG, u int) {
+	for _, c := range m.hosts[u] {
+		m.replicas[c]--
+	}
+	m.hosts[u] = nil
+	if !rng.Bool(m.cfg.FreeRiderFrac) {
+		nf := 1 + rng.Intn(2*m.cfg.FilesPerNode)
+		seen := map[trace.InterestID]bool{}
+		for i := 0; i < nf; i++ {
+			c := m.draw(rng, u)
+			if !seen[c] {
+				seen[c] = true
+				m.hosts[u] = append(m.hosts[u], c)
+				m.replicas[c]++
+			}
+		}
+	}
+	prof := make([]trace.InterestID, m.cfg.ProfileSize)
+	for i := range prof {
+		prof[i] = m.draw(rng, u)
+	}
+	m.profiles[u] = prof
+}
+
+// AddHosted installs category c at node u (a replica arriving). No-op if
+// u already hosts c. Not safe concurrently with readers.
+func (m *Model) AddHosted(u int, c trace.InterestID) {
+	if m.Hosts(u, c) {
+		return
+	}
+	m.hosts[u] = append(m.hosts[u], c)
+	m.replicas[c]++
+}
+
+// RemoveHosted evicts category c from node u, reporting whether it was
+// present. Not safe concurrently with readers.
+func (m *Model) RemoveHosted(u int, c trace.InterestID) bool {
+	for i, h := range m.hosts[u] {
+		if h == c {
+			m.hosts[u][i] = m.hosts[u][len(m.hosts[u])-1]
+			m.hosts[u] = m.hosts[u][:len(m.hosts[u])-1]
+			m.replicas[c]--
+			return true
+		}
+	}
+	return false
+}
+
+// Explicit builds a model with exactly the given hosted categories per
+// node and uniform single-category profiles — for tests and examples that
+// need full control over placement.
+func Explicit(n, categories int, hosts map[int][]trace.InterestID) *Model {
+	cfg := DefaultConfig()
+	cfg.Categories = categories
+	m := &Model{
+		cfg:      cfg,
+		pop:      stats.NewZipf(categories, 0),
+		hosts:    make([][]trace.InterestID, n),
+		profiles: make([][]trace.InterestID, n),
+		replicas: make([]int, categories),
+	}
+	for u := 0; u < n; u++ {
+		for _, c := range hosts[u] {
+			m.hosts[u] = append(m.hosts[u], c)
+			m.replicas[c]++
+		}
+		m.profiles[u] = []trace.InterestID{trace.InterestID(u % categories)}
+	}
+	return m
+}
+
+// Categories returns the number of interest categories.
+func (m *Model) Categories() int { return m.cfg.Categories }
+
+// Hosts reports whether node u shares content in category c.
+func (m *Model) Hosts(u int, c trace.InterestID) bool {
+	for _, h := range m.hosts[u] {
+		if h == c {
+			return true
+		}
+	}
+	return false
+}
+
+// HostedCategories returns the categories node u shares. The returned
+// slice is owned by the model.
+func (m *Model) HostedCategories(u int) []trace.InterestID { return m.hosts[u] }
+
+// Replicas returns how many nodes host category c.
+func (m *Model) Replicas(c trace.InterestID) int {
+	if c < 0 || int(c) >= len(m.replicas) {
+		return 0
+	}
+	return m.replicas[c]
+}
+
+// DrawQuery picks the category node u queries next, from its profile.
+func (m *Model) DrawQuery(rng *stats.RNG, u int) trace.InterestID {
+	prof := m.profiles[u]
+	return prof[rng.Intn(len(prof))]
+}
+
+// DrawPopular draws a category directly from global popularity, for
+// workloads without per-node profiles.
+func (m *Model) DrawPopular(rng *stats.RNG) trace.InterestID {
+	return trace.InterestID(m.pop.Sample(rng))
+}
+
+// FileName renders a stable display name for a category's content.
+func FileName(c trace.InterestID) string {
+	return fmt.Sprintf("category-%03d/archive.dat", c)
+}

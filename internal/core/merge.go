@@ -1,0 +1,90 @@
+package core
+
+import "arq/internal/trace"
+
+// Merge combines rule sets by summing supports — the aggregation a node
+// performs when pooling observations across windows or when neighbors
+// exchange rule sets to build the association overlays §VI sketches. The
+// result contains every rule of every input; pass prune > 1 to re-apply
+// support pruning to the combined counts.
+func Merge(prune int, sets ...*RuleSet) *RuleSet {
+	if prune < 1 {
+		prune = 1
+	}
+	sum := make(map[trace.HostID]map[trace.HostID]int)
+	for _, rs := range sets {
+		if rs == nil {
+			continue
+		}
+		for src, m := range rs.byAnte {
+			dst := sum[src]
+			if dst == nil {
+				dst = make(map[trace.HostID]int)
+				sum[src] = dst
+			}
+			for rep, c := range m {
+				dst[rep] += c
+			}
+		}
+	}
+	out := &RuleSet{byAnte: make(map[trace.HostID]map[trace.HostID]int)}
+	for src, m := range sum {
+		for rep, c := range m {
+			if c < prune {
+				continue
+			}
+			dst := out.byAnte[src]
+			if dst == nil {
+				dst = make(map[trace.HostID]int)
+				out.byAnte[src] = dst
+			}
+			dst[rep] = c
+			out.count++
+		}
+	}
+	return out
+}
+
+// DiffStats quantifies how much a rule set changed between two windows —
+// the signal behind the Adaptive policy's thresholds, exposed for
+// monitoring and for deciding whether a regeneration was warranted.
+type DiffStats struct {
+	// Kept counts rules present in both sets.
+	Kept int
+	// Added counts rules only in the new set.
+	Added int
+	// Removed counts rules only in the old set.
+	Removed int
+}
+
+// Turnover returns the fraction of the union of rules that changed
+// (0 = identical sets, 1 = disjoint). Empty-vs-empty is 0.
+func (d DiffStats) Turnover() float64 {
+	total := d.Kept + d.Added + d.Removed
+	if total == 0 {
+		return 0
+	}
+	return float64(d.Added+d.Removed) / float64(total)
+}
+
+// Diff compares two rule sets by rule identity (supports are ignored).
+func Diff(old, new *RuleSet) DiffStats {
+	var d DiffStats
+	for src, m := range old.byAnte {
+		for rep := range m {
+			if new.Matches(src, rep) {
+				d.Kept++
+			} else {
+				d.Removed++
+			}
+		}
+	}
+	for src, m := range new.byAnte {
+		for rep := range m {
+			if !old.Matches(src, rep) {
+				d.Added++
+			}
+		}
+	}
+	return d
+}

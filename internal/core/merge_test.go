@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arq/internal/trace"
+)
+
+func TestMergeSumsSupports(t *testing.T) {
+	a := GenerateRuleSet(trace.Block{pair(1, 1, 10), pair(2, 1, 10)}, 1)
+	b := GenerateRuleSet(trace.Block{pair(3, 1, 10), pair(4, 2, 20)}, 1)
+	m := Merge(1, a, b)
+	if m.SupportOf(1, 10) != 3 {
+		t.Fatalf("merged support = %d", m.SupportOf(1, 10))
+	}
+	if !m.Matches(2, 20) || m.Len() != 2 {
+		t.Fatalf("merged set = %v", m.Rules())
+	}
+}
+
+func TestMergeEquivalentToPooledGeneration(t *testing.T) {
+	// Merging per-block rule sets generated at prune 1 and re-pruning
+	// must equal generating once over the concatenated blocks.
+	f := func(rawA, rawB []uint16, thRaw uint8) bool {
+		th := int(thRaw%5) + 1
+		mk := func(raw []uint16, base int) trace.Block {
+			b := make(trace.Block, len(raw))
+			for i, r := range raw {
+				b[i] = pair(base+i, trace.HostID(r%5+1), trace.HostID(r%3+10))
+			}
+			return b
+		}
+		ba := mk(rawA, 0)
+		bb := mk(rawB, 10_000)
+		merged := Merge(th, GenerateRuleSet(ba, 1), GenerateRuleSet(bb, 1))
+		pooled := GenerateRuleSet(append(append(trace.Block{}, ba...), bb...), th)
+		if merged.Len() != pooled.Len() {
+			return false
+		}
+		for _, r := range pooled.Rules() {
+			if merged.SupportOf(r.Antecedent, r.Consequent) != r.Support {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeRepruning(t *testing.T) {
+	a := GenerateRuleSet(trace.Block{pair(1, 1, 10)}, 1)
+	b := GenerateRuleSet(trace.Block{pair(2, 1, 10)}, 1)
+	if m := Merge(3, a, b); m.Len() != 0 {
+		t.Fatalf("prune-3 merge kept %d rules", m.Len())
+	}
+	if m := Merge(2, a, b, nil); m.Len() != 1 {
+		t.Fatalf("prune-2 merge kept %d rules", m.Len())
+	}
+}
+
+func TestDiffAndTurnover(t *testing.T) {
+	old := GenerateRuleSet(trace.Block{
+		pair(1, 1, 10), pair(2, 2, 20), pair(3, 3, 30),
+	}, 1)
+	new := GenerateRuleSet(trace.Block{
+		pair(4, 1, 10), pair(5, 2, 21), pair(6, 4, 40),
+	}, 1)
+	d := Diff(old, new)
+	if d.Kept != 1 || d.Removed != 2 || d.Added != 2 {
+		t.Fatalf("diff = %+v", d)
+	}
+	if got := d.Turnover(); got != 0.8 {
+		t.Fatalf("turnover = %v", got)
+	}
+	same := Diff(old, old)
+	if same.Turnover() != 0 {
+		t.Fatalf("self turnover = %v", same.Turnover())
+	}
+	empty := Diff(GenerateRuleSet(nil, 1), GenerateRuleSet(nil, 1))
+	if empty.Turnover() != 0 {
+		t.Fatalf("empty turnover = %v", empty.Turnover())
+	}
+}
+
+func TestTurnoverTracksTraceDrift(t *testing.T) {
+	// On the shifted trace every rule set is disjoint from the previous
+	// one; on the stable trace turnover is zero.
+	stable := stableBlocks(3, 5)
+	s1 := GenerateRuleSet(stable[0], 2)
+	s2 := GenerateRuleSet(stable[1], 2)
+	if d := Diff(s1, s2); d.Turnover() != 0 {
+		t.Fatalf("stable turnover = %v", d.Turnover())
+	}
+	shifted := shiftedBlocks(2, 5)
+	h1 := GenerateRuleSet(shifted[0], 2)
+	h2 := GenerateRuleSet(shifted[1], 2)
+	if d := Diff(h1, h2); d.Turnover() != 1 {
+		t.Fatalf("shifted turnover = %v", d.Turnover())
+	}
+}

@@ -1,0 +1,336 @@
+package core
+
+import (
+	"fmt"
+
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// StepResult reports what a policy did with one block of trace data.
+type StepResult struct {
+	// Tested is false for warm-up blocks consumed only to build the
+	// initial rule set; Result is meaningful only when Tested is true.
+	Tested bool
+	// Result holds coverage/success of the block test.
+	Result TestResult
+	// Regenerated reports whether the policy rebuilt its rule set while
+	// handling this block (including the initial build).
+	Regenerated bool
+	// Rules is the size of the rule set in force after this block.
+	Rules int
+}
+
+// Policy is a rule-set maintenance policy (§III-B.3–6): it consumes trace
+// blocks in order and reports per-block quality. Policies are stateful and
+// not safe for concurrent use; run one instance per goroutine.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Step processes the next block.
+	Step(block trace.Block) StepResult
+}
+
+// copyBlock snapshots a block so a policy may retain it across Step calls
+// regardless of the Source's buffer ownership.
+func copyBlock(b trace.Block) trace.Block {
+	out := make(trace.Block, len(b))
+	copy(out, b)
+	return out
+}
+
+// Static implements STATIC-RULESET (§III-B.3): one rule set is generated
+// from the first block and used, unchanged, for every subsequent block.
+type Static struct {
+	// Prune is the support-pruning threshold (paper default 10).
+	Prune int
+	rs    *RuleSet
+}
+
+// Name implements Policy.
+func (s *Static) Name() string { return "static" }
+
+// Step implements Policy.
+func (s *Static) Step(block trace.Block) StepResult {
+	if s.rs == nil {
+		s.rs = GenerateRuleSet(block, s.Prune)
+		return StepResult{Regenerated: true, Rules: s.rs.Len()}
+	}
+	return StepResult{Tested: true, Result: s.rs.Test(block), Rules: s.rs.Len()}
+}
+
+// Sliding implements SLIDING-WINDOW (§III-B.4): before testing each block,
+// the rule set is regenerated from the immediately preceding block.
+type Sliding struct {
+	Prune int
+	prev  trace.Block
+}
+
+// Name implements Policy.
+func (s *Sliding) Name() string { return "sliding" }
+
+// Step implements Policy.
+func (s *Sliding) Step(block trace.Block) StepResult {
+	if s.prev == nil {
+		s.prev = copyBlock(block)
+		return StepResult{}
+	}
+	rs := GenerateRuleSet(s.prev, s.Prune)
+	res := rs.Test(block)
+	s.prev = copyBlock(block)
+	return StepResult{Tested: true, Result: res, Regenerated: true, Rules: rs.Len()}
+}
+
+// Wide is a sliding window of Width blocks: the rule set is regenerated
+// every block from the concatenation of the previous Width blocks. Width=1
+// is exactly Sliding; larger widths trade recency for support (an ablation
+// of the paper's one-block window choice — §III-B.4 notes larger windows
+// "consider more hosts ... meaning some rules may be stale").
+type Wide struct {
+	Prune int
+	Width int
+	hist  []trace.Block
+}
+
+// Name implements Policy.
+func (w *Wide) Name() string { return "wide" }
+
+// Step implements Policy.
+func (w *Wide) Step(block trace.Block) StepResult {
+	width := w.Width
+	if width <= 0 {
+		width = 1
+	}
+	if len(w.hist) == 0 {
+		w.hist = append(w.hist, copyBlock(block))
+		return StepResult{}
+	}
+	var joined trace.Block
+	for _, b := range w.hist {
+		joined = append(joined, b...)
+	}
+	rs := GenerateRuleSet(joined, w.Prune)
+	res := rs.Test(block)
+	w.hist = append(w.hist, copyBlock(block))
+	if len(w.hist) > width {
+		w.hist = w.hist[len(w.hist)-width:]
+	}
+	return StepResult{Tested: true, Result: res, Regenerated: true, Rules: rs.Len()}
+}
+
+// Lazy implements LAZY-SLIDING-WINDOW (§III-B.5): a generated rule set is
+// reused for Interval consecutive blocks before being regenerated from the
+// most recent block. Interval 10 reproduces Fig. 3.
+//
+// The paper's pseudocode for this policy is corrupted in the published text
+// (a GENERATE-RULESET(b−1) appears inside the per-block loop, which would
+// make it identical to Sliding); we implement the behaviour its prose and
+// Fig. 3 caption describe.
+type Lazy struct {
+	Prune    int
+	Interval int
+	rs       *RuleSet
+	used     int
+}
+
+// Name implements Policy.
+func (l *Lazy) Name() string { return "lazy" }
+
+// Step implements Policy.
+func (l *Lazy) Step(block trace.Block) StepResult {
+	interval := l.Interval
+	if interval <= 0 {
+		interval = 10
+	}
+	if l.rs == nil {
+		l.rs = GenerateRuleSet(block, l.Prune)
+		return StepResult{Regenerated: true, Rules: l.rs.Len()}
+	}
+	res := l.rs.Test(block)
+	l.used++
+	regen := false
+	if l.used%interval == 0 {
+		l.rs = GenerateRuleSet(block, l.Prune)
+		regen = true
+	}
+	return StepResult{Tested: true, Result: res, Regenerated: regen, Rules: l.rs.Len()}
+}
+
+// Adaptive implements ADAPTIVE-SLIDING-WINDOW (§III-B.6): the current rule
+// set is kept until its measured coverage or success falls below adaptive
+// thresholds, at which point it is regenerated from the block that exposed
+// the shortfall. Each threshold is the mean of the previous Window test
+// values (the paper evaluates Window 10 and 50); before any history exists
+// the initial threshold Init is used (0.7 in §V-D).
+type Adaptive struct {
+	Prune  int
+	Window int     // history length for threshold calculation
+	Init   float64 // threshold used until history accumulates
+	rs     *RuleSet
+	covMM  *stats.MovingMean
+	sucMM  *stats.MovingMean
+}
+
+// Name implements Policy.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Step implements Policy.
+func (a *Adaptive) Step(block trace.Block) StepResult {
+	if a.covMM == nil {
+		w := a.Window
+		if w <= 0 {
+			w = 10
+		}
+		a.covMM = stats.NewMovingMean(w)
+		a.sucMM = stats.NewMovingMean(w)
+	}
+	if a.rs == nil {
+		a.rs = GenerateRuleSet(block, a.Prune)
+		return StepResult{Regenerated: true, Rules: a.rs.Len()}
+	}
+	// Thresholds come from history prior to this block
+	// (CALC-*-THRESHOLD(b−1)).
+	ct, st := a.Init, a.Init
+	if a.covMM.Len() > 0 {
+		ct = a.covMM.Mean()
+		st = a.sucMM.Mean()
+	}
+	res := a.rs.Test(block)
+	cov, suc := res.Coverage(), res.Success()
+	regen := false
+	if cov < ct || suc < st {
+		a.rs = GenerateRuleSet(block, a.Prune)
+		regen = true
+	}
+	a.covMM.Add(cov)
+	a.sucMM.Add(suc)
+	return StepResult{Tested: true, Result: res, Regenerated: regen, Rules: a.rs.Len()}
+}
+
+// Incremental implements the paper's future-work policy (§VI): rules are
+// updated immediately as query–reply pairs are observed, with no wholesale
+// regeneration. Counts decay by Decay at each block boundary so stale
+// pairs age out; a (source, replier) pair is a rule while its decayed
+// count is at least Threshold. Each query is tested against the rule state
+// as of its arrival and only then folded in (test-then-train), so the
+// reported coverage/success never peeks at the pair being scored.
+type Incremental struct {
+	Decay     float64 // per-block multiplicative decay, default 0.9
+	Threshold float64 // rule-activation count, default 2
+	counts    map[trace.HostID]map[trace.HostID]float64
+	started   bool
+}
+
+// Name implements Policy.
+func (in *Incremental) Name() string { return "incremental" }
+
+func (in *Incremental) params() (decay, threshold float64) {
+	decay = in.Decay
+	if decay <= 0 || decay > 1 {
+		decay = 0.9
+	}
+	threshold = in.Threshold
+	if threshold <= 0 {
+		threshold = 2
+	}
+	return decay, threshold
+}
+
+func (in *Incremental) covers(src trace.HostID, threshold float64) bool {
+	for _, c := range in.counts[src] {
+		if c >= threshold {
+			return true
+		}
+	}
+	return false
+}
+
+// RuleCount returns the number of active rules at the current state.
+func (in *Incremental) RuleCount() int {
+	_, threshold := in.params()
+	n := 0
+	for _, m := range in.counts {
+		for _, c := range m {
+			if c >= threshold {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Step implements Policy.
+func (in *Incremental) Step(block trace.Block) StepResult {
+	decay, threshold := in.params()
+	if in.counts == nil {
+		in.counts = make(map[trace.HostID]map[trace.HostID]float64)
+	}
+	warmup := !in.started
+	in.started = true
+
+	// Age out old observations at the block boundary, dropping entries
+	// whose count has decayed to insignificance to bound memory.
+	for src, m := range in.counts {
+		for rep, c := range m {
+			c *= decay
+			if c < 0.05 {
+				delete(m, rep)
+			} else {
+				m[rep] = c
+			}
+		}
+		if len(m) == 0 {
+			delete(in.counts, src)
+		}
+	}
+
+	type state struct{ covered, successful bool }
+	seen := make(map[trace.GUID]*state, len(block))
+	var res TestResult
+	for _, p := range block {
+		st := seen[p.GUID]
+		if st == nil {
+			st = &state{covered: in.covers(p.Source, threshold)}
+			seen[p.GUID] = st
+			res.N++
+			if st.covered {
+				res.Covered++
+			}
+		}
+		if st.covered && !st.successful && in.counts[p.Source][p.Replier] >= threshold {
+			st.successful = true
+			res.Successful++
+		}
+		// Train after testing.
+		m := in.counts[p.Source]
+		if m == nil {
+			m = make(map[trace.HostID]float64)
+			in.counts[p.Source] = m
+		}
+		m[p.Replier]++
+	}
+	if warmup {
+		return StepResult{Rules: in.RuleCount()}
+	}
+	return StepResult{Tested: true, Result: res, Rules: in.RuleCount()}
+}
+
+// NewPolicy constructs a policy by name with the given prune threshold and
+// default parameters; it is the factory the CLIs use. Recognized names:
+// static, sliding, lazy, adaptive, incremental.
+func NewPolicy(name string, prune int) (Policy, error) {
+	switch name {
+	case "static":
+		return &Static{Prune: prune}, nil
+	case "sliding":
+		return &Sliding{Prune: prune}, nil
+	case "lazy":
+		return &Lazy{Prune: prune, Interval: 10}, nil
+	case "adaptive":
+		return &Adaptive{Prune: prune, Window: 10, Init: 0.7}, nil
+	case "incremental":
+		return &Incremental{}, nil
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", name)
+	}
+}

@@ -1,0 +1,296 @@
+package core
+
+import (
+	"testing"
+
+	"arq/internal/trace"
+)
+
+// stableBlocks builds a drift-free stream: sources 1..3 always answered by
+// repliers 11..13 respectively, many times per block.
+func stableBlocks(nBlocks, perRule int) []trace.Block {
+	var blocks []trace.Block
+	g := 0
+	for b := 0; b < nBlocks; b++ {
+		var blk trace.Block
+		for src := trace.HostID(1); src <= 3; src++ {
+			for i := 0; i < perRule; i++ {
+				g++
+				blk = append(blk, pair(g, src, src+10))
+			}
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+// shiftedBlocks changes every source and replier identity at each block, so
+// rules from one block never apply to the next.
+func shiftedBlocks(nBlocks, perRule int) []trace.Block {
+	var blocks []trace.Block
+	g := 0
+	for b := 0; b < nBlocks; b++ {
+		var blk trace.Block
+		base := trace.HostID(1000 * (b + 1))
+		for s := trace.HostID(0); s < 3; s++ {
+			for i := 0; i < perRule; i++ {
+				g++
+				blk = append(blk, pair(g, base+s, base+s+10))
+			}
+		}
+		blocks = append(blocks, blk)
+	}
+	return blocks
+}
+
+func runPolicy(p Policy, blocks []trace.Block) (results []StepResult) {
+	for _, b := range blocks {
+		results = append(results, p.Step(b))
+	}
+	return results
+}
+
+func testedOnly(results []StepResult) []StepResult {
+	var out []StepResult
+	for _, r := range results {
+		if r.Tested {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func TestAllPoliciesWarmUpOnFirstBlock(t *testing.T) {
+	for _, name := range []string{"static", "sliding", "lazy", "adaptive", "incremental"} {
+		p, err := NewPolicy(name, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := p.Step(stableBlocks(1, 5)[0])
+		if res.Tested {
+			t.Fatalf("%s tested its warm-up block", name)
+		}
+	}
+}
+
+func TestNewPolicyUnknown(t *testing.T) {
+	if _, err := NewPolicy("nope", 1); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestPoliciesPerfectOnStableTrace(t *testing.T) {
+	for _, name := range []string{"static", "sliding", "lazy", "adaptive", "incremental"} {
+		p, _ := NewPolicy(name, 2)
+		results := testedOnly(runPolicy(p, stableBlocks(8, 10)))
+		if len(results) != 7 {
+			t.Fatalf("%s tested %d blocks, want 7", name, len(results))
+		}
+		for i, r := range results {
+			if r.Result.Coverage() != 1 {
+				t.Fatalf("%s block %d coverage = %v on stable trace",
+					name, i, r.Result.Coverage())
+			}
+			if r.Result.Success() != 1 {
+				t.Fatalf("%s block %d success = %v on stable trace",
+					name, i, r.Result.Success())
+			}
+		}
+	}
+}
+
+func TestStaticDecaysSlidingAdaptsOnShiftedTrace(t *testing.T) {
+	static, _ := NewPolicy("static", 2)
+	sres := testedOnly(runPolicy(static, shiftedBlocks(6, 10)))
+	for i, r := range sres {
+		if r.Result.Coverage() != 0 {
+			t.Fatalf("static block %d coverage = %v on shifted trace", i, r.Result.Coverage())
+		}
+	}
+	// Sliding also fails on a fully-shifted trace (the previous block never
+	// predicts the next), which is exactly why it must win on *partially*
+	// drifting traces — verified by the calibration tests in tracegen.
+	sliding, _ := NewPolicy("sliding", 2)
+	slres := testedOnly(runPolicy(sliding, shiftedBlocks(6, 10)))
+	for _, r := range slres {
+		if !r.Regenerated {
+			t.Fatal("sliding must regenerate every tested block")
+		}
+	}
+}
+
+func TestLazyRegenerationCadence(t *testing.T) {
+	l := &Lazy{Prune: 2, Interval: 3}
+	results := runPolicy(l, stableBlocks(11, 5))
+	var regens []int
+	for i, r := range results {
+		if r.Regenerated {
+			regens = append(regens, i)
+		}
+	}
+	// Initial build at block 0, then after every 3rd tested block:
+	// tested blocks are 1..10, regen after 3, 6, 9.
+	want := []int{0, 3, 6, 9}
+	if len(regens) != len(want) {
+		t.Fatalf("regens at %v, want %v", regens, want)
+	}
+	for i := range want {
+		if regens[i] != want[i] {
+			t.Fatalf("regens at %v, want %v", regens, want)
+		}
+	}
+}
+
+func TestLazyDefaultInterval(t *testing.T) {
+	l := &Lazy{Prune: 1}
+	results := runPolicy(l, stableBlocks(12, 3))
+	count := 0
+	for _, r := range results[1:] {
+		if r.Regenerated {
+			count++
+		}
+	}
+	if count != 1 { // only after the 10th tested block
+		t.Fatalf("default-interval regens = %d, want 1", count)
+	}
+}
+
+func TestAdaptiveRegeneratesOnQualityDrop(t *testing.T) {
+	a := &Adaptive{Prune: 2, Window: 5, Init: 0.7}
+	// Warm up + a few perfect blocks to raise the thresholds.
+	good := stableBlocks(4, 10)
+	for _, b := range good {
+		a.Step(b)
+	}
+	// A shifted block must trigger regeneration.
+	bad := shiftedBlocks(1, 10)[0]
+	res := a.Step(bad)
+	if !res.Tested || !res.Regenerated {
+		t.Fatalf("adaptive did not regenerate on drop: %+v", res)
+	}
+	if res.Result.Coverage() != 0 {
+		t.Fatalf("shifted block should be uncovered, got %v", res.Result.Coverage())
+	}
+}
+
+func TestAdaptiveDoesNotRegenerateWhileHealthy(t *testing.T) {
+	a := &Adaptive{Prune: 2, Window: 5, Init: 0.7}
+	results := runPolicy(a, stableBlocks(10, 10))
+	for i, r := range results[1:] {
+		if r.Regenerated {
+			t.Fatalf("adaptive regenerated at healthy block %d", i+1)
+		}
+	}
+}
+
+func TestIncrementalAdaptsWithinTrace(t *testing.T) {
+	in := &Incremental{}
+	// Shifted trace: identities change per block, but the incremental
+	// policy picks new pairs up mid-block, so coverage/success recover
+	// within each block instead of staying at zero.
+	results := testedOnly(runPolicy(in, shiftedBlocks(5, 200)))
+	for i, r := range results {
+		if r.Result.Coverage() < 0.9 {
+			t.Fatalf("incremental coverage at block %d = %v, want >= 0.9",
+				i, r.Result.Coverage())
+		}
+		if r.Result.Success() < 0.9 {
+			t.Fatalf("incremental success at block %d = %v, want >= 0.9",
+				i, r.Result.Success())
+		}
+	}
+}
+
+func TestIncrementalTestThenTrain(t *testing.T) {
+	// A pair never seen before must not count as covered on its own
+	// first appearance, even though training happens in the same Step.
+	in := &Incremental{}
+	in.Step(trace.Block{}) // consume warm-up on an empty block
+	blk := trace.Block{pair(1, 42, 52), pair(2, 42, 52), pair(3, 42, 52)}
+	res := in.Step(blk)
+	if !res.Tested {
+		t.Fatal("expected tested step")
+	}
+	// First query: uncovered (count 0). Second: count 1 < threshold 2,
+	// still uncovered. Third: count 2 >= 2, covered and successful.
+	if res.Result.N != 3 || res.Result.Covered != 1 || res.Result.Successful != 1 {
+		t.Fatalf("result = %+v", res.Result)
+	}
+}
+
+func TestIncrementalDecayExpiresRules(t *testing.T) {
+	in := &Incremental{Decay: 0.5, Threshold: 2}
+	in.Step(trace.Block{pair(1, 1, 10), pair(2, 1, 10), pair(3, 1, 10), pair(4, 1, 10)})
+	if in.RuleCount() != 1 {
+		t.Fatalf("rule count after training = %d", in.RuleCount())
+	}
+	// Several empty blocks decay the count 4 -> 2 -> 1 -> 0.5 ...
+	in.Step(trace.Block{})
+	in.Step(trace.Block{})
+	if in.RuleCount() != 0 {
+		t.Fatalf("rule survived decay: count = %d", in.RuleCount())
+	}
+}
+
+func TestSlidingUsesPreviousBlockOnly(t *testing.T) {
+	s := &Sliding{Prune: 2}
+	b1 := trace.Block{pair(1, 1, 10), pair(2, 1, 10)}
+	b2 := trace.Block{pair(3, 2, 20), pair(4, 2, 20)}
+	b3 := trace.Block{pair(5, 1, 10), pair(6, 2, 20)}
+	s.Step(b1)
+	s.Step(b2)
+	res := s.Step(b3) // rules from b2 only: {2}->{20}
+	if res.Result.N != 2 || res.Result.Covered != 1 || res.Result.Successful != 1 {
+		t.Fatalf("result = %+v", res.Result)
+	}
+}
+
+func TestWideWidthOneEqualsSliding(t *testing.T) {
+	blocks := shiftedBlocks(6, 12)
+	w := &Wide{Prune: 3, Width: 1}
+	s := &Sliding{Prune: 3}
+	for i, b := range blocks {
+		rw := w.Step(b)
+		rs := s.Step(b)
+		if rw.Tested != rs.Tested || rw.Result != rs.Result || rw.Rules != rs.Rules {
+			t.Fatalf("block %d: wide %+v vs sliding %+v", i, rw, rs)
+		}
+	}
+}
+
+func TestWideKeepsBoundedHistory(t *testing.T) {
+	w := &Wide{Prune: 2, Width: 3}
+	blocks := stableBlocks(10, 5)
+	for _, b := range blocks {
+		w.Step(b)
+	}
+	if len(w.hist) > 3 {
+		t.Fatalf("history = %d blocks, want <= 3", len(w.hist))
+	}
+}
+
+func TestWideAggregatesSupportAcrossBlocks(t *testing.T) {
+	// A pair appearing 3 times per block clears threshold 5 only when two
+	// blocks are pooled.
+	mk := func() trace.Block {
+		var b trace.Block
+		for i := 0; i < 3; i++ {
+			b = append(b, pair(100+i, 1, 10))
+		}
+		return b
+	}
+	narrow := &Wide{Prune: 5, Width: 1}
+	wide := &Wide{Prune: 5, Width: 2}
+	for i := 0; i < 3; i++ {
+		nres := narrow.Step(mk())
+		wres := wide.Step(mk())
+		if i == 2 {
+			if nres.Result.Successful != 0 {
+				t.Fatal("width-1 should miss the sub-threshold pair")
+			}
+			if wres.Result.Successful == 0 {
+				t.Fatal("width-2 should pool support across blocks")
+			}
+		}
+	}
+}

@@ -1,0 +1,214 @@
+// Package core implements the paper's primary contribution: association
+// rules for query routing in unstructured P2P networks (§III-B).
+//
+// A node observes which neighbor forwarded each query (the antecedent) and
+// which neighbor a reply for that query came back through (the consequent).
+// Pairs seen at least a support threshold number of times within a block of
+// traffic become rules {host1} -> {host2}; future queries from host1 are
+// forwarded only to the top consequents for host1 instead of being flooded,
+// with flooding as a fallback. Rule-set quality is measured by coverage
+// (α = n/N, Eq. 1) and success (ρ = s/n, Eq. 2). Four maintenance policies
+// — Static Ruleset, Sliding Window, Lazy Sliding Window, and Adaptive
+// Sliding Window — plus the paper's future-work incremental policy are in
+// policy.go.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"arq/internal/trace"
+)
+
+// Rule is one routing rule {Antecedent} -> {Consequent}: forwarding a query
+// received from Antecedent on to Consequent has previously led to hits
+// Support times within the generation block.
+type Rule struct {
+	Antecedent trace.HostID
+	Consequent trace.HostID
+	Support    int
+}
+
+// String renders the rule in the paper's notation.
+func (r Rule) String() string {
+	return fmt.Sprintf("{%s} -> {%s} (support %d)", r.Antecedent, r.Consequent, r.Support)
+}
+
+// RuleSet is the set of routing rules a node derives from one generation
+// window, indexed by antecedent. RuleSets are immutable once built.
+type RuleSet struct {
+	byAnte map[trace.HostID]map[trace.HostID]int
+	count  int
+}
+
+// GenerateRuleSet implements GENERATE-RULESET: count (source, replier)
+// pairs within the block and keep those seen at least pruneThreshold times
+// (support pruning, §III-B.1). The paper's experimental default threshold
+// is 10. A threshold below 1 is treated as 1.
+func GenerateRuleSet(block trace.Block, pruneThreshold int) *RuleSet {
+	if pruneThreshold < 1 {
+		pruneThreshold = 1
+	}
+	counts := make(map[trace.HostID]map[trace.HostID]int)
+	for _, p := range block {
+		m := counts[p.Source]
+		if m == nil {
+			m = make(map[trace.HostID]int)
+			counts[p.Source] = m
+		}
+		m[p.Replier]++
+	}
+	rs := &RuleSet{byAnte: make(map[trace.HostID]map[trace.HostID]int)}
+	for src, m := range counts {
+		for rep, c := range m {
+			if c < pruneThreshold {
+				continue
+			}
+			dst := rs.byAnte[src]
+			if dst == nil {
+				dst = make(map[trace.HostID]int)
+				rs.byAnte[src] = dst
+			}
+			dst[rep] = c
+			rs.count++
+		}
+	}
+	return rs
+}
+
+// Len returns the number of rules in the set.
+func (rs *RuleSet) Len() int { return rs.count }
+
+// Covers reports whether any rule has src as its antecedent — i.e. the
+// rule set can route queries arriving from src.
+func (rs *RuleSet) Covers(src trace.HostID) bool {
+	return len(rs.byAnte[src]) > 0
+}
+
+// Matches reports whether {src} -> {replier} is a rule in the set.
+func (rs *RuleSet) Matches(src, replier trace.HostID) bool {
+	return rs.byAnte[src][replier] > 0
+}
+
+// SupportOf returns the support count of {src} -> {replier}, or 0 if the
+// rule is absent.
+func (rs *RuleSet) SupportOf(src, replier trace.HostID) int {
+	return rs.byAnte[src][replier]
+}
+
+// Consequents returns up to k consequent hosts for queries arriving from
+// src, ordered by descending support with HostID as a deterministic
+// tiebreak — "sent to the k neighbors with the highest support"
+// (§III-B.1). k <= 0 returns all consequents for src.
+func (rs *RuleSet) Consequents(src trace.HostID, k int) []trace.HostID {
+	m := rs.byAnte[src]
+	if len(m) == 0 {
+		return nil
+	}
+	type cs struct {
+		host trace.HostID
+		sup  int
+	}
+	all := make([]cs, 0, len(m))
+	for h, s := range m {
+		all = append(all, cs{h, s})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].sup != all[j].sup {
+			return all[i].sup > all[j].sup
+		}
+		return all[i].host < all[j].host
+	})
+	if k > 0 && k < len(all) {
+		all = all[:k]
+	}
+	out := make([]trace.HostID, len(all))
+	for i, c := range all {
+		out[i] = c.host
+	}
+	return out
+}
+
+// Antecedents returns the sorted antecedent hosts of the rule set.
+func (rs *RuleSet) Antecedents() []trace.HostID {
+	out := make([]trace.HostID, 0, len(rs.byAnte))
+	for h := range rs.byAnte {
+		out = append(out, h)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Rules returns every rule, sorted by antecedent then consequent, for
+// inspection and serialization.
+func (rs *RuleSet) Rules() []Rule {
+	out := make([]Rule, 0, rs.count)
+	for src, m := range rs.byAnte {
+		for rep, c := range m {
+			out = append(out, Rule{Antecedent: src, Consequent: rep, Support: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Antecedent != out[j].Antecedent {
+			return out[i].Antecedent < out[j].Antecedent
+		}
+		return out[i].Consequent < out[j].Consequent
+	})
+	return out
+}
+
+// TestResult is the outcome of RULESET-TEST over one block (§III-B.2).
+type TestResult struct {
+	// N is the number of unique replied-to queries in the test block.
+	N int
+	// Covered (the paper's n) is how many of those queries came from a
+	// source that appears as a rule antecedent.
+	Covered int
+	// Successful (the paper's s) is how many covered queries had a reply
+	// arrive through a neighbor that is a rule consequent for that source.
+	Successful int
+}
+
+// Coverage returns α = n/N, or 0 when the block held no replied queries.
+func (t TestResult) Coverage() float64 {
+	if t.N == 0 {
+		return 0
+	}
+	return float64(t.Covered) / float64(t.N)
+}
+
+// Success returns ρ = s/n, or 0 when nothing was covered.
+func (t TestResult) Success() float64 {
+	if t.Covered == 0 {
+		return 0
+	}
+	return float64(t.Successful) / float64(t.Covered)
+}
+
+// Test implements RULESET-TEST: evaluate the rule set against a block of
+// query–reply pairs. Queries are identified by GUID; a query with several
+// replies counts once, and is successful if any of its replies matches a
+// rule for its source.
+func (rs *RuleSet) Test(block trace.Block) TestResult {
+	type state struct {
+		covered, successful bool
+	}
+	seen := make(map[trace.GUID]*state, len(block))
+	var res TestResult
+	for _, p := range block {
+		st := seen[p.GUID]
+		if st == nil {
+			st = &state{covered: rs.Covers(p.Source)}
+			seen[p.GUID] = st
+			res.N++
+			if st.covered {
+				res.Covered++
+			}
+		}
+		if st.covered && !st.successful && rs.Matches(p.Source, p.Replier) {
+			st.successful = true
+			res.Successful++
+		}
+	}
+	return res
+}

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arq/internal/assoc"
+	"arq/internal/trace"
+)
+
+func pair(guid int, src, rep trace.HostID) trace.Pair {
+	return trace.Pair{GUID: trace.GUID(guid), Source: src, Replier: rep}
+}
+
+func TestGenerateRuleSetPrunes(t *testing.T) {
+	var block trace.Block
+	g := 0
+	add := func(n int, src, rep trace.HostID) {
+		for i := 0; i < n; i++ {
+			g++
+			block = append(block, pair(g, src, rep))
+		}
+	}
+	add(5, 1, 10)
+	add(2, 1, 11)
+	add(3, 2, 10)
+	rs := GenerateRuleSet(block, 3)
+	if rs.Len() != 2 {
+		t.Fatalf("rules = %d, want 2", rs.Len())
+	}
+	if !rs.Matches(1, 10) || !rs.Matches(2, 10) {
+		t.Fatal("expected rules missing")
+	}
+	if rs.Matches(1, 11) {
+		t.Fatal("pruned rule present")
+	}
+	if rs.SupportOf(1, 10) != 5 {
+		t.Fatalf("support = %d", rs.SupportOf(1, 10))
+	}
+}
+
+func TestGenerateRuleSetThresholdMonotone(t *testing.T) {
+	// Property: raising the prune threshold never adds rules.
+	f := func(raw []uint16) bool {
+		block := make(trace.Block, len(raw))
+		for i, r := range raw {
+			block[i] = pair(i, trace.HostID(r%5+1), trace.HostID(r%3+10))
+		}
+		prev := -1
+		for th := 1; th <= 6; th++ {
+			n := GenerateRuleSet(block, th).Len()
+			if prev >= 0 && n > prev {
+				return false
+			}
+			prev = n
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRuleSetMatchesApriori(t *testing.T) {
+	// The 1-antecedent/1-consequent special case must agree exactly with
+	// the general Apriori miner run over role-tagged transactions.
+	const repOffset = 1 << 16
+	f := func(raw []uint16, thRaw uint8) bool {
+		th := int(thRaw%5) + 1
+		block := make(trace.Block, len(raw))
+		txs := make([]assoc.Transaction, len(raw))
+		for i, r := range raw {
+			src := trace.HostID(r%6 + 1)
+			rep := trace.HostID(r/7%4 + 1)
+			block[i] = pair(i, src, rep)
+			txs[i] = assoc.NewItemset(assoc.Item(src), assoc.Item(int32(rep)+repOffset))
+		}
+		rs := GenerateRuleSet(block, th)
+		want := map[[2]trace.HostID]int{}
+		for _, fi := range assoc.Apriori(txs, th, 2) {
+			if len(fi.Items) != 2 {
+				continue
+			}
+			// One item must be a source tag, the other a replier tag.
+			if fi.Items[0] >= repOffset || fi.Items[1] < repOffset {
+				continue
+			}
+			want[[2]trace.HostID{
+				trace.HostID(fi.Items[0]),
+				trace.HostID(fi.Items[1] - repOffset),
+			}] = fi.Count
+		}
+		got := map[[2]trace.HostID]int{}
+		for _, r := range rs.Rules() {
+			got[[2]trace.HostID{r.Antecedent, r.Consequent}] = r.Support
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for k, v := range want {
+			if got[k] != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConsequentsTopK(t *testing.T) {
+	var block trace.Block
+	g := 0
+	add := func(n int, src, rep trace.HostID) {
+		for i := 0; i < n; i++ {
+			g++
+			block = append(block, pair(g, src, rep))
+		}
+	}
+	add(5, 1, 10)
+	add(3, 1, 11)
+	add(8, 1, 12)
+	add(3, 1, 13) // ties with 11; HostID 11 wins the tiebreak
+	rs := GenerateRuleSet(block, 1)
+	got := rs.Consequents(1, 3)
+	if len(got) != 3 || got[0] != 12 || got[1] != 10 || got[2] != 11 {
+		t.Fatalf("top-3 = %v", got)
+	}
+	if all := rs.Consequents(1, 0); len(all) != 4 {
+		t.Fatalf("all consequents = %v", all)
+	}
+	if rs.Consequents(99, 2) != nil {
+		t.Fatal("unknown antecedent should yield nil")
+	}
+}
+
+func TestAntecedentsSorted(t *testing.T) {
+	block := trace.Block{pair(1, 5, 10), pair(2, 2, 10), pair(3, 9, 11)}
+	rs := GenerateRuleSet(block, 1)
+	a := rs.Antecedents()
+	if len(a) != 3 || a[0] != 2 || a[1] != 5 || a[2] != 9 {
+		t.Fatalf("antecedents = %v", a)
+	}
+}
+
+func TestTestResultMeasures(t *testing.T) {
+	gen := trace.Block{
+		pair(1, 1, 10), pair(2, 1, 10), // rule {1}->{10}
+		pair(3, 2, 20), pair(4, 2, 20), // rule {2}->{20}
+	}
+	rs := GenerateRuleSet(gen, 2)
+	test := trace.Block{
+		pair(10, 1, 10), // covered + successful
+		pair(11, 1, 99), // covered, unsuccessful
+		pair(12, 2, 20), // covered + successful
+		pair(13, 3, 10), // uncovered
+	}
+	res := rs.Test(test)
+	if res.N != 4 || res.Covered != 3 || res.Successful != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if res.Coverage() != 0.75 {
+		t.Fatalf("coverage = %v", res.Coverage())
+	}
+	if suc := res.Success(); suc < 0.666 || suc > 0.667 {
+		t.Fatalf("success = %v", suc)
+	}
+}
+
+func TestTestDedupesByGUID(t *testing.T) {
+	gen := trace.Block{pair(1, 1, 10), pair(2, 1, 10)}
+	rs := GenerateRuleSet(gen, 2)
+	// One query (single GUID) with three replies: one matching.
+	test := trace.Block{
+		{GUID: 7, Source: 1, Replier: 99},
+		{GUID: 7, Source: 1, Replier: 10},
+		{GUID: 7, Source: 1, Replier: 98},
+	}
+	res := rs.Test(test)
+	if res.N != 1 || res.Covered != 1 || res.Successful != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+func TestMeasuresInUnitRange(t *testing.T) {
+	f := func(genRaw, testRaw []uint16, th uint8) bool {
+		mk := func(raw []uint16) trace.Block {
+			b := make(trace.Block, len(raw))
+			for i, r := range raw {
+				b[i] = pair(i, trace.HostID(r%7+1), trace.HostID(r%4+10))
+			}
+			return b
+		}
+		rs := GenerateRuleSet(mk(genRaw), int(th%6)+1)
+		res := rs.Test(mk(testRaw))
+		cov, suc := res.Coverage(), res.Success()
+		return cov >= 0 && cov <= 1 && suc >= 0 && suc <= 1 &&
+			res.Covered <= res.N && res.Successful <= res.Covered
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyBlockTest(t *testing.T) {
+	rs := GenerateRuleSet(nil, 10)
+	res := rs.Test(nil)
+	if res.Coverage() != 0 || res.Success() != 0 || res.N != 0 {
+		t.Fatalf("empty test = %+v", res)
+	}
+	if rs.Len() != 0 {
+		t.Fatal("empty generation produced rules")
+	}
+}
+
+func TestRulesSortedAndComplete(t *testing.T) {
+	block := trace.Block{
+		pair(1, 2, 11), pair(2, 2, 10), pair(3, 1, 12),
+	}
+	rs := GenerateRuleSet(block, 1)
+	rules := rs.Rules()
+	if len(rules) != 3 {
+		t.Fatalf("rules = %v", rules)
+	}
+	if rules[0].Antecedent != 1 || rules[1].Consequent != 10 || rules[2].Consequent != 11 {
+		t.Fatalf("order = %v", rules)
+	}
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"arq/internal/trace"
+)
+
+// Rule sets serialize as JSON Lines — one rule per line — so a node can
+// persist its learned state across restarts and operators can inspect or
+// diff rule sets with text tools.
+
+type ruleRecord struct {
+	Antecedent trace.HostID `json:"ante"`
+	Consequent trace.HostID `json:"cons"`
+	Support    int          `json:"sup"`
+}
+
+// Save writes the rule set to w, one rule per line, sorted
+// deterministically.
+func (rs *RuleSet) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range rs.Rules() {
+		rec := ruleRecord{Antecedent: r.Antecedent, Consequent: r.Consequent, Support: r.Support}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadRuleSet reads a rule set written by Save. Duplicate
+// antecedent/consequent lines keep the last support value.
+func LoadRuleSet(r io.Reader) (*RuleSet, error) {
+	rs := &RuleSet{byAnte: make(map[trace.HostID]map[trace.HostID]int)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec ruleRecord
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return nil, fmt.Errorf("core: rule set line %d: %w", line, err)
+		}
+		if rec.Support <= 0 {
+			return nil, fmt.Errorf("core: rule set line %d: non-positive support", line)
+		}
+		m := rs.byAnte[rec.Antecedent]
+		if m == nil {
+			m = make(map[trace.HostID]int)
+			rs.byAnte[rec.Antecedent] = m
+		}
+		if _, dup := m[rec.Consequent]; !dup {
+			rs.count++
+		}
+		m[rec.Consequent] = rec.Support
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rs, nil
+}

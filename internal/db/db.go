@@ -1,0 +1,278 @@
+// Package db is a small in-memory relational-style table store. It stands
+// in for the relational database the paper's simulator was built on
+// (§IV-A/B): typed columns, hash indices on frequently-searched fields, and
+// the equi-join that pairs query messages with the replies received for
+// them. It is deliberately minimal — enough to exercise the same
+// import → index → join → block-iteration path the original PHP simulator
+// used, with no external dependency.
+package db
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ColType is the type of a column.
+type ColType int
+
+// Column types. IntCol stores int64; StrCol stores string.
+const (
+	IntCol ColType = iota
+	StrCol
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Value is a dynamically-typed cell. Exactly one of I or S is meaningful,
+// selected by the column's declared type.
+type Value struct {
+	I int64
+	S string
+}
+
+// Int returns an integer cell value.
+func Int(v int64) Value { return Value{I: v} }
+
+// Str returns a string cell value.
+func Str(s string) Value { return Value{S: s} }
+
+// Row is one record; cells are positional against the table schema.
+type Row []Value
+
+// Table is an append-only collection of rows with optional hash indices.
+type Table struct {
+	name    string
+	schema  []Column
+	colIdx  map[string]int
+	rows    []Row
+	indexes map[int]map[Value][]int // column position -> value -> row ids
+	unique  map[int]bool            // column position -> uniqueness enforced
+}
+
+// NewTable creates an empty table with the given schema. Column names must
+// be unique and non-empty.
+func NewTable(name string, schema ...Column) (*Table, error) {
+	if len(schema) == 0 {
+		return nil, errors.New("db: table needs at least one column")
+	}
+	colIdx := make(map[string]int, len(schema))
+	for i, c := range schema {
+		if c.Name == "" {
+			return nil, fmt.Errorf("db: table %s: empty column name", name)
+		}
+		if _, dup := colIdx[c.Name]; dup {
+			return nil, fmt.Errorf("db: table %s: duplicate column %s", name, c.Name)
+		}
+		colIdx[c.Name] = i
+	}
+	return &Table{
+		name:    name,
+		schema:  schema,
+		colIdx:  colIdx,
+		indexes: make(map[int]map[Value][]int),
+		unique:  make(map[int]bool),
+	}, nil
+}
+
+// MustTable is NewTable that panics on schema errors; for use with
+// compile-time-constant schemas.
+func MustTable(name string, schema ...Column) *Table {
+	t, err := NewTable(name, schema...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Len returns the number of rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Schema returns a copy of the column definitions.
+func (t *Table) Schema() []Column {
+	out := make([]Column, len(t.schema))
+	copy(out, t.schema)
+	return out
+}
+
+// colPos resolves a column name to its position.
+func (t *Table) colPos(col string) (int, error) {
+	pos, ok := t.colIdx[col]
+	if !ok {
+		return 0, fmt.Errorf("db: table %s has no column %s", t.name, col)
+	}
+	return pos, nil
+}
+
+// ErrDuplicate is returned by Insert when a row violates a unique index.
+var ErrDuplicate = errors.New("db: duplicate key")
+
+// Insert appends a row, maintaining all indices. If the row violates a
+// unique index the table is unchanged and ErrDuplicate is returned — this
+// is how the import pipeline drops queries with reused GUIDs.
+func (t *Table) Insert(row Row) error {
+	if len(row) != len(t.schema) {
+		return fmt.Errorf("db: table %s: row has %d cells, schema has %d",
+			t.name, len(row), len(t.schema))
+	}
+	for pos := range t.indexes {
+		if t.unique[pos] {
+			if ids := t.indexes[pos][row[pos]]; len(ids) > 0 {
+				return fmt.Errorf("%w: table %s column %s",
+					ErrDuplicate, t.name, t.schema[pos].Name)
+			}
+		}
+	}
+	id := len(t.rows)
+	t.rows = append(t.rows, row)
+	for pos, idx := range t.indexes {
+		idx[row[pos]] = append(idx[row[pos]], id)
+	}
+	return nil
+}
+
+// Row returns the row with the given id (insertion order). It panics on an
+// out-of-range id, mirroring slice semantics.
+func (t *Table) Row(id int) Row { return t.rows[id] }
+
+// CreateIndex builds a hash index on col. unique enforces that no two rows
+// share a value in that column; creating a unique index over existing
+// duplicate values fails.
+func (t *Table) CreateIndex(col string, unique bool) error {
+	pos, err := t.colPos(col)
+	if err != nil {
+		return err
+	}
+	idx := make(map[Value][]int, len(t.rows))
+	for id, row := range t.rows {
+		if unique && len(idx[row[pos]]) > 0 {
+			return fmt.Errorf("%w: cannot build unique index on %s.%s",
+				ErrDuplicate, t.name, col)
+		}
+		idx[row[pos]] = append(idx[row[pos]], id)
+	}
+	t.indexes[pos] = idx
+	t.unique[pos] = unique
+	return nil
+}
+
+// Lookup returns the ids of rows whose col equals v, in insertion order.
+// It uses an index when one exists and scans otherwise.
+func (t *Table) Lookup(col string, v Value) ([]int, error) {
+	pos, err := t.colPos(col)
+	if err != nil {
+		return nil, err
+	}
+	if idx, ok := t.indexes[pos]; ok {
+		ids := idx[v]
+		out := make([]int, len(ids))
+		copy(out, ids)
+		return out, nil
+	}
+	var out []int
+	for id, row := range t.rows {
+		if row[pos] == v {
+			out = append(out, id)
+		}
+	}
+	return out, nil
+}
+
+// Scan calls fn for each row in insertion order; returning false stops the
+// scan early.
+func (t *Table) Scan(fn func(id int, row Row) bool) {
+	for id, row := range t.rows {
+		if !fn(id, row) {
+			return
+		}
+	}
+}
+
+// JoinResult is one matched row pair from an equi-join.
+type JoinResult struct {
+	LeftID, RightID int
+	Left, Right     Row
+}
+
+// EquiJoin matches rows of l and r where l.leftCol == r.rightCol,
+// returning results ordered by right-table insertion order then left id —
+// the order the paper's pipeline produced pairs in (one output per reply).
+// It hash-joins on the smaller effective side using r's index when
+// available.
+func EquiJoin(l *Table, leftCol string, r *Table, rightCol string) ([]JoinResult, error) {
+	lpos, err := l.colPos(leftCol)
+	if err != nil {
+		return nil, err
+	}
+	rpos, err := r.colPos(rightCol)
+	if err != nil {
+		return nil, err
+	}
+	// Build (or reuse) a hash index on the left side, then probe with each
+	// right row so output is grouped by right row.
+	var lookup func(v Value) []int
+	if idx, ok := l.indexes[lpos]; ok {
+		lookup = func(v Value) []int { return idx[v] }
+	} else {
+		built := make(map[Value][]int, len(l.rows))
+		for id, row := range l.rows {
+			built[row[lpos]] = append(built[row[lpos]], id)
+		}
+		lookup = func(v Value) []int { return built[v] }
+	}
+	var out []JoinResult
+	for rid, rrow := range r.rows {
+		for _, lid := range lookup(rrow[rpos]) {
+			out = append(out, JoinResult{
+				LeftID: lid, RightID: rid,
+				Left: l.rows[lid], Right: rrow,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Distinct returns the distinct values in col, sorted (integers
+// numerically, strings lexically).
+func (t *Table) Distinct(col string) ([]Value, error) {
+	pos, err := t.colPos(col)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[Value]struct{})
+	for _, row := range t.rows {
+		set[row[pos]] = struct{}{}
+	}
+	out := make([]Value, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	typ := t.schema[pos].Type
+	sort.Slice(out, func(i, j int) bool {
+		if typ == IntCol {
+			return out[i].I < out[j].I
+		}
+		return out[i].S < out[j].S
+	})
+	return out, nil
+}
+
+// CountBy returns a map from value to the number of rows holding it in col.
+func (t *Table) CountBy(col string) (map[Value]int, error) {
+	pos, err := t.colPos(col)
+	if err != nil {
+		return nil, err
+	}
+	counts := make(map[Value]int)
+	for _, row := range t.rows {
+		counts[row[pos]]++
+	}
+	return counts, nil
+}

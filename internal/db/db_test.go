@@ -1,0 +1,263 @@
+package db
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"arq/internal/trace"
+)
+
+func TestNewTableValidatesSchema(t *testing.T) {
+	if _, err := NewTable("t"); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+	if _, err := NewTable("t", Column{Name: "", Type: IntCol}); err == nil {
+		t.Fatal("empty column name accepted")
+	}
+	if _, err := NewTable("t",
+		Column{Name: "a", Type: IntCol},
+		Column{Name: "a", Type: StrCol}); err == nil {
+		t.Fatal("duplicate column accepted")
+	}
+}
+
+func TestInsertAndLookup(t *testing.T) {
+	tb := MustTable("t", Column{Name: "k", Type: IntCol}, Column{Name: "v", Type: StrCol})
+	for i := 0; i < 10; i++ {
+		if err := tb.Insert(Row{Int(int64(i % 3)), Str("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ids, err := tb.Lookup("k", Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("lookup without index: %v", ids)
+	}
+	if err := tb.CreateIndex("k", false); err != nil {
+		t.Fatal(err)
+	}
+	ids2, err := tb.Lookup("k", Int(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids2) != 3 {
+		t.Fatalf("lookup with index: %v", ids2)
+	}
+	for i := range ids {
+		if ids[i] != ids2[i] {
+			t.Fatal("indexed and scanned lookups disagree")
+		}
+	}
+}
+
+func TestInsertWrongArity(t *testing.T) {
+	tb := MustTable("t", Column{Name: "a", Type: IntCol})
+	if err := tb.Insert(Row{Int(1), Int(2)}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestUniqueIndexRejectsDuplicates(t *testing.T) {
+	tb := MustTable("t", Column{Name: "guid", Type: IntCol})
+	if err := tb.CreateIndex("guid", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Insert(Row{Int(7)}); err != nil {
+		t.Fatal(err)
+	}
+	err := tb.Insert(Row{Int(7)})
+	if !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+	if tb.Len() != 1 {
+		t.Fatalf("failed insert mutated table: len=%d", tb.Len())
+	}
+}
+
+func TestUniqueIndexOverExistingDuplicatesFails(t *testing.T) {
+	tb := MustTable("t", Column{Name: "a", Type: IntCol})
+	_ = tb.Insert(Row{Int(1)})
+	_ = tb.Insert(Row{Int(1)})
+	if err := tb.CreateIndex("a", true); !errors.Is(err, ErrDuplicate) {
+		t.Fatalf("want ErrDuplicate, got %v", err)
+	}
+}
+
+func TestLookupUnknownColumn(t *testing.T) {
+	tb := MustTable("t", Column{Name: "a", Type: IntCol})
+	if _, err := tb.Lookup("zzz", Int(0)); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestEquiJoinOrderAndMatches(t *testing.T) {
+	l := MustTable("l", Column{Name: "g", Type: IntCol}, Column{Name: "x", Type: StrCol})
+	r := MustTable("r", Column{Name: "g", Type: IntCol}, Column{Name: "y", Type: StrCol})
+	_ = l.Insert(Row{Int(1), Str("q1")})
+	_ = l.Insert(Row{Int(2), Str("q2")})
+	_ = r.Insert(Row{Int(2), Str("r1")})
+	_ = r.Insert(Row{Int(1), Str("r2")})
+	_ = r.Insert(Row{Int(3), Str("r3")}) // unmatched
+	_ = r.Insert(Row{Int(1), Str("r4")})
+	out, err := EquiJoin(l, "g", r, "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 3 {
+		t.Fatalf("join size = %d, want 3", len(out))
+	}
+	// Ordered by right-table insertion order.
+	if out[0].Right[1].S != "r1" || out[1].Right[1].S != "r2" || out[2].Right[1].S != "r4" {
+		t.Fatalf("join order wrong: %+v", out)
+	}
+	if out[0].Left[1].S != "q2" {
+		t.Fatalf("join matched wrong rows: %+v", out[0])
+	}
+}
+
+func TestEquiJoinUsesIndexConsistently(t *testing.T) {
+	build := func(indexed bool) []JoinResult {
+		l := MustTable("l", Column{Name: "g", Type: IntCol})
+		r := MustTable("r", Column{Name: "g", Type: IntCol})
+		for i := 0; i < 50; i++ {
+			_ = l.Insert(Row{Int(int64(i % 5))})
+			_ = r.Insert(Row{Int(int64(i % 7))})
+		}
+		if indexed {
+			if err := l.CreateIndex("g", false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out, err := EquiJoin(l, "g", r, "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(true), build(false)
+	if len(a) != len(b) {
+		t.Fatalf("indexed and unindexed joins differ in size: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].LeftID != b[i].LeftID || a[i].RightID != b[i].RightID {
+			t.Fatalf("join row %d differs", i)
+		}
+	}
+}
+
+func TestDistinctSorted(t *testing.T) {
+	tb := MustTable("t", Column{Name: "a", Type: IntCol})
+	for _, v := range []int64{5, 3, 5, 1, 3} {
+		_ = tb.Insert(Row{Int(v)})
+	}
+	vals, err := tb.Distinct("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 3 || vals[0].I != 1 || vals[1].I != 3 || vals[2].I != 5 {
+		t.Fatalf("distinct = %+v", vals)
+	}
+}
+
+func TestCountBy(t *testing.T) {
+	tb := MustTable("t", Column{Name: "a", Type: StrCol})
+	for _, s := range []string{"x", "y", "x", "x"} {
+		_ = tb.Insert(Row{Str(s)})
+	}
+	counts, err := tb.CountBy("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts[Str("x")] != 3 || counts[Str("y")] != 1 {
+		t.Fatalf("counts = %+v", counts)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tb := MustTable("t", Column{Name: "a", Type: IntCol})
+	for i := 0; i < 10; i++ {
+		_ = tb.Insert(Row{Int(int64(i))})
+	}
+	n := 0
+	tb.Scan(func(id int, _ Row) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("scan visited %d rows, want 4", n)
+	}
+}
+
+func TestImportPipelineMatchesTraceJoin(t *testing.T) {
+	// The relational pipeline must agree exactly with the direct
+	// trace.Dedup+trace.Join implementation.
+	f := func(qRaw, rRaw []uint8) bool {
+		qs := make([]trace.Query, len(qRaw))
+		for i, g := range qRaw {
+			qs[i] = trace.Query{
+				GUID: trace.GUID(g%16 + 1), Time: int64(i),
+				Source: trace.HostID(i%5 + 1), Interest: trace.InterestID(i % 3),
+			}
+		}
+		rs := make([]trace.Reply, len(rRaw))
+		for i, g := range rRaw {
+			rs[i] = trace.Reply{
+				GUID: trace.GUID(g%16 + 1), Time: int64(1000 + i),
+				From: trace.HostID(i%4 + 10),
+			}
+		}
+		imp, err := Import(qs, rs)
+		if err != nil {
+			return false
+		}
+		kept, removed := trace.Dedup(qs)
+		want, dropped := trace.Join(kept, rs)
+		if imp.Stats.DuplicateGUIDs != removed ||
+			imp.Stats.KeptQueries != len(kept) ||
+			imp.Stats.UnmatchedReplies != dropped ||
+			imp.Stats.Pairs != len(want) {
+			return false
+		}
+		got := imp.PairSlice()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImportStatsSmall(t *testing.T) {
+	qs := []trace.Query{
+		{GUID: 1, Source: 10, Interest: 0},
+		{GUID: 1, Source: 11, Interest: 1}, // duplicate
+		{GUID: 2, Source: 12, Interest: 2},
+	}
+	rs := []trace.Reply{
+		{GUID: 1, From: 20},
+		{GUID: 3, From: 21}, // unmatched
+	}
+	imp, err := Import(qs, rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := imp.Stats
+	if s.RawQueries != 3 || s.DuplicateGUIDs != 1 || s.KeptQueries != 2 ||
+		s.RawReplies != 2 || s.UnmatchedReplies != 1 || s.Pairs != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	pairs := imp.PairSlice()
+	if pairs[0].Source != 10 || pairs[0].Replier != 20 {
+		t.Fatalf("pair = %+v", pairs[0])
+	}
+}

@@ -1,0 +1,123 @@
+// Package keyword is the query-string matching substrate of a servent's
+// content layer: a tokenizer and an inverted index answering conjunctive
+// keyword queries ("all words must appear"), the matching rule Gnutella
+// clients applied to shared-file names. internal/vantage uses it to answer
+// queries; it is also the hook for the §VI idea of clustering rule
+// dimensions by query string.
+package keyword
+
+import (
+	"sort"
+	"strings"
+)
+
+// Tokenize splits text into lowercase alphanumeric tokens; everything else
+// separates. "Free_Software-2.0.tar" -> ["free", "software", "2", "0",
+// "tar"].
+func Tokenize(text string) []string {
+	var out []string
+	var b strings.Builder
+	flush := func() {
+		if b.Len() > 0 {
+			out = append(out, b.String())
+			b.Reset()
+		}
+	}
+	for _, r := range strings.ToLower(text) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		default:
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// Index is an inverted index from token to the sorted set of document ids
+// containing it. The zero value is unusable; construct with NewIndex.
+type Index struct {
+	postings map[string][]int32
+	docs     map[int32]bool
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{postings: make(map[string][]int32), docs: make(map[int32]bool)}
+}
+
+// Add indexes document id under every token of text. Adding the same id
+// twice merges its tokens.
+func (ix *Index) Add(id int32, text string) {
+	ix.docs[id] = true
+	for _, tok := range Tokenize(text) {
+		lst := ix.postings[tok]
+		pos := sort.Search(len(lst), func(i int) bool { return lst[i] >= id })
+		if pos < len(lst) && lst[pos] == id {
+			continue
+		}
+		lst = append(lst, 0)
+		copy(lst[pos+1:], lst[pos:])
+		lst[pos] = id
+		ix.postings[tok] = lst
+	}
+}
+
+// Docs returns the number of indexed documents.
+func (ix *Index) Docs() int { return len(ix.docs) }
+
+// Query returns the ids of documents containing every token of text, in
+// ascending order. An empty or tokenless query matches nothing (a servent
+// never answers empty searches).
+func (ix *Index) Query(text string) []int32 {
+	tokens := Tokenize(text)
+	if len(tokens) == 0 {
+		return nil
+	}
+	// Intersect postings smallest-first.
+	lists := make([][]int32, 0, len(tokens))
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		if seen[tok] {
+			continue
+		}
+		seen[tok] = true
+		lst, ok := ix.postings[tok]
+		if !ok {
+			return nil
+		}
+		lists = append(lists, lst)
+	}
+	sort.Slice(lists, func(i, j int) bool { return len(lists[i]) < len(lists[j]) })
+	result := lists[0]
+	for _, lst := range lists[1:] {
+		result = intersect(result, lst)
+		if len(result) == 0 {
+			return nil
+		}
+	}
+	// Copy so callers cannot mutate postings.
+	out := make([]int32, len(result))
+	copy(out, result)
+	return out
+}
+
+// intersect merges two ascending id lists.
+func intersect(a, b []int32) []int32 {
+	var out []int32
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			out = append(out, a[i])
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return out
+}

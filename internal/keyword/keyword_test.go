@@ -1,0 +1,130 @@
+package keyword
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	got := Tokenize("Free_Software-2.0.tar")
+	want := []string{"free", "software", "2", "0", "tar"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("tokens = %v", got)
+		}
+	}
+	if Tokenize("...---...") != nil {
+		t.Fatal("separator-only text produced tokens")
+	}
+	if Tokenize("") != nil {
+		t.Fatal("empty text produced tokens")
+	}
+}
+
+func TestIndexConjunctiveQuery(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, "Free Software Compilation.tar")
+	ix.Add(2, "holiday photos.zip")
+	ix.Add(3, "free holiday guide.pdf")
+	if got := ix.Query("free software"); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("query = %v", got)
+	}
+	if got := ix.Query("free"); len(got) != 2 || got[0] != 1 || got[1] != 3 {
+		t.Fatalf("query = %v", got)
+	}
+	if got := ix.Query("software photos"); got != nil {
+		t.Fatalf("disjoint words matched: %v", got)
+	}
+	if got := ix.Query(""); got != nil {
+		t.Fatalf("empty query matched: %v", got)
+	}
+	if got := ix.Query("nonexistent"); got != nil {
+		t.Fatalf("unknown token matched: %v", got)
+	}
+	if ix.Docs() != 3 {
+		t.Fatalf("docs = %d", ix.Docs())
+	}
+}
+
+func TestIndexDuplicateAddIdempotent(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(7, "alpha beta")
+	ix.Add(7, "alpha beta")
+	if got := ix.Query("alpha"); len(got) != 1 {
+		t.Fatalf("duplicate add produced %v", got)
+	}
+}
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	docs := []string{
+		"topic-001 keywords linux", "topic-002 keywords compilers",
+		"music album 2006", "linux kernel source", "keywords only",
+	}
+	ix := NewIndex()
+	for i, d := range docs {
+		ix.Add(int32(i), d)
+	}
+	contains := func(hay []string, needle string) bool {
+		for _, h := range hay {
+			if h == needle {
+				return true
+			}
+		}
+		return false
+	}
+	f := func(q1, q2 uint8) bool {
+		// Build a random 1-2 token query from the corpus vocabulary.
+		vocab := []string{"topic", "001", "002", "keywords", "linux",
+			"compilers", "music", "album", "2006", "kernel", "source", "only", "zzz"}
+		query := vocab[int(q1)%len(vocab)]
+		if q2%2 == 0 {
+			query += " " + vocab[int(q2)%len(vocab)]
+		}
+		got := ix.Query(query)
+		gotSet := map[int32]bool{}
+		for _, id := range got {
+			gotSet[id] = true
+		}
+		for i, d := range docs {
+			toks := Tokenize(d)
+			match := true
+			for _, qt := range Tokenize(query) {
+				if !contains(toks, qt) {
+					match = false
+					break
+				}
+			}
+			if match != gotSet[int32(i)] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryResultSortedAndStable(t *testing.T) {
+	ix := NewIndex()
+	for i := 20; i >= 0; i-- {
+		ix.Add(int32(i), "shared word")
+	}
+	got := ix.Query("shared word")
+	if len(got) != 21 {
+		t.Fatalf("matches = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatal("results not ascending")
+		}
+	}
+	// Mutating the result must not corrupt the index.
+	got[0] = 999
+	if again := ix.Query("shared word"); again[0] != 0 {
+		t.Fatal("caller mutation leaked into index")
+	}
+}

@@ -1,0 +1,87 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+
+	"arq/internal/stats"
+)
+
+func path(n int) *Graph {
+	g := NewGraph(n)
+	for i := 1; i < n; i++ {
+		g.AddEdge(i-1, i)
+	}
+	return g
+}
+
+func TestAvgPathLengthLine(t *testing.T) {
+	// Path on 4 nodes: distances 1,2,3,1,2,1 each way; mean = 20/12.
+	g := path(4)
+	got := g.AvgPathLength(stats.NewRNG(1), 0)
+	want := 20.0 / 12.0
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("avg path = %v, want %v", got, want)
+	}
+}
+
+func TestAvgPathLengthSampled(t *testing.T) {
+	g := Random(stats.NewRNG(2), 300, 6)
+	full := g.AvgPathLength(stats.NewRNG(3), 0)
+	sampled := g.AvgPathLength(stats.NewRNG(3), 60)
+	if math.Abs(full-sampled) > 0.3 {
+		t.Fatalf("sampled %v deviates from full %v", sampled, full)
+	}
+}
+
+func TestClusteringCoefficientTriangleAndStar(t *testing.T) {
+	tri := NewGraph(3)
+	tri.AddEdge(0, 1)
+	tri.AddEdge(1, 2)
+	tri.AddEdge(0, 2)
+	if c := tri.ClusteringCoefficient(); c != 1 {
+		t.Fatalf("triangle clustering = %v", c)
+	}
+	star := NewGraph(5)
+	for i := 1; i < 5; i++ {
+		star.AddEdge(0, i)
+	}
+	if c := star.ClusteringCoefficient(); c != 0 {
+		t.Fatalf("star clustering = %v", c)
+	}
+}
+
+func TestSmallWorldProperties(t *testing.T) {
+	// Watts–Strogatz at low beta: clustering well above a random graph of
+	// the same density, path length far below the ring lattice.
+	rng := stats.NewRNG(4)
+	ws := WattsStrogatz(rng, 400, 6, 0.1)
+	rnd := Random(stats.NewRNG(5), 400, 6)
+	if ws.ClusteringCoefficient() < 3*rnd.ClusteringCoefficient() {
+		t.Fatalf("WS clustering %v not >> random %v",
+			ws.ClusteringCoefficient(), rnd.ClusteringCoefficient())
+	}
+	lattice := WattsStrogatz(stats.NewRNG(6), 400, 6, 0)
+	if ws.AvgPathLength(rng, 50) > lattice.AvgPathLength(rng, 50)/2 {
+		t.Fatal("WS rewiring did not shorten paths")
+	}
+}
+
+func TestDiameterLine(t *testing.T) {
+	if d := path(7).Diameter(); d != 6 {
+		t.Fatalf("diameter = %d", d)
+	}
+	if d := NewGraph(1).Diameter(); d != 0 {
+		t.Fatalf("singleton diameter = %d", d)
+	}
+}
+
+func TestTinyGraphMetrics(t *testing.T) {
+	g := NewGraph(1)
+	if g.AvgPathLength(stats.NewRNG(1), 0) != 0 {
+		t.Fatal("singleton path length")
+	}
+	if g.ClusteringCoefficient() != 0 {
+		t.Fatal("singleton clustering")
+	}
+}

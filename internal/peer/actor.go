@@ -1,0 +1,260 @@
+package peer
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/trace"
+)
+
+// ActorNet runs the same node/router model as Engine with one goroutine
+// per peer communicating over channel inboxes — a true concurrent
+// message-passing simulation. Termination uses an atomic in-flight message
+// counter: every enqueue increments it, every fully-processed message
+// decrements it, and the query completes when the counter returns to zero.
+//
+// Per-query state (visited sets, reverse paths) is sharded per node and a
+// node's goroutine is the only writer of its shard, so queries need no
+// global locks; cost counters are atomics.
+type ActorNet struct {
+	g       *overlay.Graph
+	content *content.Model
+	routers []Router
+
+	inbox []chan actorMsg
+	wg    sync.WaitGroup
+
+	// Per-node per-query state, owned exclusively by the node goroutine.
+	nodeState []map[QueryID]*nodeQueryState
+
+	// Per-query shared record.
+	mu      sync.Mutex
+	queries map[QueryID]*actorQuery
+
+	nextID atomic.Uint64
+}
+
+type nodeQueryState struct {
+	visited bool
+	parent  int
+}
+
+type actorQuery struct {
+	meta     Meta
+	inflight atomic.Int64
+	done     chan struct{}
+
+	queryMsgs  atomic.Int64
+	hitMsgs    atomic.Int64
+	duplicates atomic.Int64
+	reached    atomic.Int64
+	hits       atomic.Int64
+	firstHit   atomic.Int64 // hops+1 of best hit, 0 = none
+}
+
+type actorMsg struct {
+	q        *actorQuery
+	from     int
+	ttl      int
+	hops     int
+	hit      bool // a query-hit traveling back; via identifies the reporter
+	via      int
+	hitHops  int
+	shutdown bool
+	flush    *sync.WaitGroup // request to clear per-query state
+}
+
+// NewActorNet starts one goroutine per node. Call Close when done.
+func NewActorNet(g *overlay.Graph, m *content.Model, factory func(u int) Router) *ActorNet {
+	n := g.N()
+	a := &ActorNet{
+		g:         g,
+		content:   m,
+		routers:   make([]Router, n),
+		inbox:     make([]chan actorMsg, n),
+		nodeState: make([]map[QueryID]*nodeQueryState, n),
+		queries:   make(map[QueryID]*actorQuery),
+	}
+	for u := 0; u < n; u++ {
+		a.routers[u] = factory(u)
+		a.inbox[u] = make(chan actorMsg, 256)
+		a.nodeState[u] = make(map[QueryID]*nodeQueryState)
+	}
+	a.wg.Add(n)
+	for u := 0; u < n; u++ {
+		go a.nodeLoop(u)
+	}
+	return a
+}
+
+// Close shuts down all node goroutines. The net must be idle (no queries
+// in flight).
+func (a *ActorNet) Close() {
+	for u := range a.inbox {
+		a.inbox[u] <- actorMsg{shutdown: true}
+	}
+	a.wg.Wait()
+}
+
+// Flush discards all per-query bookkeeping at every node and returns when
+// done. Call between workloads, while no queries are in flight, to keep
+// long-running simulations from accumulating state.
+func (a *ActorNet) Flush() {
+	var wg sync.WaitGroup
+	wg.Add(len(a.inbox))
+	for u := range a.inbox {
+		a.inbox[u] <- actorMsg{flush: &wg}
+	}
+	wg.Wait()
+}
+
+// send enqueues a message, accounting it in-flight. When the receiver's
+// inbox is full the handoff moves to a fresh goroutine rather than
+// blocking the sender's processing loop — node goroutines send to each
+// other in cycles, so blocking sends could deadlock under bursty load.
+func (a *ActorNet) send(to int, m actorMsg) {
+	m.q.inflight.Add(1)
+	select {
+	case a.inbox[to] <- m:
+	default:
+		go func() { a.inbox[to] <- m }()
+	}
+}
+
+// finish marks one message fully processed; the last one completes the
+// query.
+func (a *ActorNet) finish(q *actorQuery) {
+	if q.inflight.Add(-1) == 0 {
+		close(q.done)
+	}
+}
+
+func (a *ActorNet) nodeLoop(u int) {
+	defer a.wg.Done()
+	for m := range a.inbox[u] {
+		if m.shutdown {
+			return
+		}
+		if m.flush != nil {
+			a.nodeState[u] = make(map[QueryID]*nodeQueryState)
+			m.flush.Done()
+			continue
+		}
+		if m.hit {
+			a.handleHit(u, m)
+		} else {
+			a.handleQuery(u, m)
+		}
+		a.finish(m.q)
+	}
+}
+
+func (a *ActorNet) handleQuery(u int, m actorMsg) {
+	q := m.q
+	st := a.nodeState[u][q.meta.ID]
+	if st == nil {
+		st = &nodeQueryState{parent: m.from}
+		a.nodeState[u][q.meta.ID] = st
+	}
+	walk := a.routers[u].Walk()
+	if !walk {
+		if st.visited {
+			q.duplicates.Add(1)
+			return
+		}
+	}
+	first := !st.visited
+	st.visited = true
+	if first {
+		q.reached.Add(1)
+	}
+
+	hosts := u != q.meta.Origin && a.content.Hosts(u, q.meta.Category)
+	if hosts && first {
+		q.hits.Add(1)
+		recordFirstHit(q, m.hops)
+		// Report the hit to ourselves and start it traveling upstream.
+		a.routers[u].ObserveHit(u, m.from, q.meta, u)
+		if m.from != NoUpstream {
+			q.hitMsgs.Add(1)
+			a.send(m.from, actorMsg{q: q, from: u, hit: true, via: u, hitHops: m.hops})
+		}
+	}
+	if hosts && walk {
+		return // a walker terminates on matching content
+	}
+
+	if m.ttl <= 0 {
+		return
+	}
+	meta := q.meta
+	meta.TTL = m.ttl
+	meta.Hops = m.hops
+	for _, v := range a.routers[u].Route(u, m.from, meta, a.g.Neighbors(u)) {
+		q.queryMsgs.Add(1)
+		a.send(int(v), actorMsg{q: q, from: u, ttl: m.ttl - 1, hops: m.hops + 1})
+	}
+}
+
+// handleHit forwards a returning query-hit one hop toward the origin.
+func (a *ActorNet) handleHit(u int, m actorMsg) {
+	q := m.q
+	st := a.nodeState[u][q.meta.ID]
+	if st == nil {
+		return // reverse path lost (possible under walk semantics)
+	}
+	a.routers[u].ObserveHit(u, st.parent, q.meta, m.via)
+	if st.parent == NoUpstream {
+		return // reached the origin
+	}
+	q.hitMsgs.Add(1)
+	a.send(st.parent, actorMsg{q: q, from: u, hit: true, via: u, hitHops: m.hitHops})
+}
+
+func recordFirstHit(q *actorQuery, hops int) {
+	for {
+		cur := q.firstHit.Load()
+		enc := int64(hops) + 1
+		if cur != 0 && cur <= enc {
+			return
+		}
+		if q.firstHit.CompareAndSwap(cur, enc) {
+			return
+		}
+	}
+}
+
+// RunQuery injects a query and blocks until the network is quiescent for
+// it, returning its stats. Multiple RunQuery calls may be issued from
+// different goroutines concurrently; per-query state is independent.
+func (a *ActorNet) RunQuery(origin int, category trace.InterestID, ttl int) Stats {
+	q := &actorQuery{
+		meta: Meta{ID: QueryID(a.nextID.Add(1)), Origin: origin, Category: category},
+		done: make(chan struct{}),
+	}
+	a.mu.Lock()
+	a.queries[q.meta.ID] = q
+	a.mu.Unlock()
+
+	a.send(origin, actorMsg{q: q, from: NoUpstream, ttl: ttl, hops: 0})
+	<-q.done
+
+	a.mu.Lock()
+	delete(a.queries, q.meta.ID)
+	a.mu.Unlock()
+
+	st := Stats{
+		Hits:          int(q.hits.Load()),
+		QueryMessages: int(q.queryMsgs.Load()),
+		HitMessages:   int(q.hitMsgs.Load()),
+		Duplicates:    int(q.duplicates.Load()),
+		NodesReached:  int(q.reached.Load()),
+	}
+	if fh := q.firstHit.Load(); fh > 0 {
+		st.Found = true
+		st.FirstHitHops = int(fh - 1)
+	}
+	return st
+}

@@ -1,0 +1,122 @@
+package peer
+
+import (
+	"sync"
+	"testing"
+
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+func TestActorFloodMatchesEngineExactly(t *testing.T) {
+	rng := stats.NewRNG(11)
+	g := overlay.Random(rng, 300, 5)
+	hosts := map[int][]trace.InterestID{42: {0}, 97: {0}, 150: {1}}
+	m := content.Explicit(300, 4, hosts)
+
+	e := floodEngine(g, m)
+	a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+	defer a.Close()
+
+	// With TTL >= diameter, flood cost is order-independent: every
+	// reached node forwards exactly once.
+	for _, tc := range []struct {
+		origin int
+		cat    trace.InterestID
+	}{{0, 0}, {7, 1}, {250, 0}, {42, 0}, {5, 3}} {
+		se := e.RunQuery(tc.origin, tc.cat, 64)
+		sa := a.RunQuery(tc.origin, tc.cat, 64)
+		if se.QueryMessages != sa.QueryMessages ||
+			se.Duplicates != sa.Duplicates ||
+			se.NodesReached != sa.NodesReached ||
+			se.Found != sa.Found ||
+			se.Hits != sa.Hits {
+			t.Fatalf("engine %+v vs actor %+v", se, sa)
+		}
+		if se.Found && sa.FirstHitHops < se.FirstHitHops {
+			// Async delivery may route a node's first receipt over a
+			// longer path, so the actor's hop count can exceed the BFS
+			// distance — but never undercut it.
+			t.Fatalf("hit hops: engine %d vs actor %d", se.FirstHitHops, sa.FirstHitHops)
+		}
+	}
+}
+
+func TestActorConcurrentQueries(t *testing.T) {
+	rng := stats.NewRNG(12)
+	g := overlay.Random(rng, 200, 5)
+	m := content.Build(rng.Split(), 200, content.DefaultConfig())
+	a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+	defer a.Close()
+
+	const goroutines = 8
+	const perG = 20
+	var wg sync.WaitGroup
+	results := make([][]Stats, goroutines)
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r := stats.NewRNG(uint64(100 + i))
+			for j := 0; j < perG; j++ {
+				origin := r.Intn(200)
+				st := a.RunQuery(origin, m.DrawQuery(r, origin), 16)
+				results[i] = append(results[i], st)
+			}
+		}(i)
+	}
+	wg.Wait()
+	total := 0
+	for _, rs := range results {
+		total += len(rs)
+		for _, st := range rs {
+			if st.NodesReached == 0 {
+				t.Fatal("query reached no nodes")
+			}
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("completed %d queries", total)
+	}
+}
+
+func TestActorFlushClearsState(t *testing.T) {
+	g := lineGraph(5)
+	m := modelHosting(5, 4)
+	a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+	defer a.Close()
+	a.RunQuery(0, 0, 8)
+	a.Flush()
+	// State cleared; a fresh query must behave identically.
+	st := a.RunQuery(0, 0, 8)
+	if !st.Found || st.FirstHitHops != 4 {
+		t.Fatalf("post-flush query = %+v", st)
+	}
+}
+
+func TestActorWalkersTerminate(t *testing.T) {
+	g := lineGraph(8)
+	m := modelHosting(8, 5)
+	a := NewActorNet(g, m, func(u int) Router { return singleWalker{} })
+	defer a.Close()
+	st := a.RunQuery(0, 0, 100)
+	if !st.Found || st.FirstHitHops != 5 {
+		t.Fatalf("walker stats = %+v", st)
+	}
+	if st.QueryMessages != 5 {
+		t.Fatalf("walker messages = %d", st.QueryMessages)
+	}
+}
+
+func TestActorNoContentQuiesces(t *testing.T) {
+	g := lineGraph(4)
+	m := modelHosting(4) // nothing hosted
+	a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+	defer a.Close()
+	st := a.RunQuery(0, 0, 10)
+	if st.Found || st.QueryMessages != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}

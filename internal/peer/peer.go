@@ -1,0 +1,258 @@
+// Package peer is the message-level simulator of an unstructured P2P
+// network: Gnutella-style query propagation with TTLs and duplicate
+// suppression, query-hit messages routed back along the query's reverse
+// path, and pluggable per-node routers (flooding, random walks, and the
+// paper's association-rule router live in internal/routing).
+//
+// Two engines share the same node/router model:
+//
+//   - Engine is a deterministic sequential discrete-event simulator, used
+//     by the benchmarks so results are exactly reproducible.
+//   - ActorNet (actor.go) runs one goroutine per peer with channel
+//     inboxes, exercising the same routers under real concurrency.
+//
+// For flooding with TTL at least the graph diameter, both engines produce
+// identical message counts — each reached node forwards exactly once —
+// which the integration tests exploit.
+package peer
+
+import (
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// QueryID identifies a query (the GUID of the Gnutella protocol).
+type QueryID uint64
+
+// Meta carries the routed state of a query as seen at one node.
+type Meta struct {
+	ID       QueryID
+	Origin   int
+	Category trace.InterestID
+	TTL      int // remaining forwards allowed after this node
+	Hops     int // hops traveled so far
+	// FloodPhase marks a fallback reissue: selective routers should
+	// flood (while still learning from any hits). Set by
+	// Engine.RunQueryPhase for the paper's origin-level
+	// revert-to-flooding (§III-B).
+	FloodPhase bool
+}
+
+// NoUpstream marks a query processed at its origin (no upstream neighbor).
+const NoUpstream = -1
+
+// Router decides, per node, which neighbors a query is forwarded to.
+// Implementations may keep per-node learning state; the engines call a
+// given node's router from one goroutine at a time, but distinct nodes'
+// routers may be invoked concurrently by ActorNet.
+type Router interface {
+	// Name identifies the routing strategy.
+	Name() string
+	// Route returns the subset of nbrs to forward to. from is the
+	// upstream node (NoUpstream at the origin). The returned slice must
+	// not alias nbrs.
+	Route(u, from int, q Meta, nbrs []int32) []int32
+	// ObserveHit informs node u that a hit for q returned through
+	// neighbor via; from is the upstream the query had arrived from
+	// (NoUpstream at the origin). Learning routers update rules here.
+	ObserveHit(u, from int, q Meta, via int)
+	// Walk reports walker semantics: duplicate suppression is disabled
+	// and each arriving copy is forwarded independently (k-random walks),
+	// instead of flood semantics (forward only on first receipt).
+	Walk() bool
+}
+
+// Stats aggregates the cost and outcome of one query.
+type Stats struct {
+	Found         bool
+	Hits          int     // distinct nodes whose content matched
+	FirstHitHops  int     // hops to the first matching node (0 if none)
+	QueryMessages int     // query copies sent over edges
+	HitMessages   int     // hop-by-hop messages of returning query hits
+	Duplicates    int     // query copies dropped by duplicate suppression
+	NodesReached  int     // distinct nodes that processed the query
+	HitNodes      []int32 // distinct nodes whose content matched
+}
+
+// Total returns total network messages attributable to the query.
+func (s Stats) Total() int { return s.QueryMessages + s.HitMessages }
+
+// Engine is the deterministic sequential simulator. It owns per-node
+// router instances and replays queries one at a time; learning routers
+// accumulate state across queries exactly as deployed nodes would.
+type Engine struct {
+	G       *overlay.Graph
+	Content *content.Model
+	Routers []Router
+	nextID  QueryID
+}
+
+// NewEngine wires a graph, a content model, and one router per node built
+// by factory.
+func NewEngine(g *overlay.Graph, m *content.Model, factory func(u int) Router) *Engine {
+	routers := make([]Router, g.N())
+	for u := range routers {
+		routers[u] = factory(u)
+	}
+	return &Engine{G: g, Content: m, Routers: routers, nextID: 1}
+}
+
+// delivery is one query copy in flight.
+type delivery struct {
+	to, from int
+	ttl      int
+	hops     int
+}
+
+// RunQuery injects a query at origin for category with the given TTL and
+// simulates it to quiescence, returning its stats. Matches at the origin
+// itself are not counted (a user searches for content they lack).
+func (e *Engine) RunQuery(origin int, category trace.InterestID, ttl int) Stats {
+	return e.RunQueryPhase(origin, category, ttl, false)
+}
+
+// RunQueryPhase is RunQuery with control over Meta.FloodPhase, used to
+// reissue a failed rule-routed query as a flood.
+func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) Stats {
+	id := e.nextID
+	e.nextID++
+	meta := Meta{ID: id, Origin: origin, Category: category, FloodPhase: floodPhase}
+	var st Stats
+
+	walk := e.Routers[origin].Walk()
+	// parent[u] = upstream neighbor of u's first receipt (flood mode);
+	// used to route hits back and to attribute learning.
+	parent := make(map[int]int, 64)
+	visited := make(map[int]bool, 64)
+
+	// FIFO queue: breadth-first delivery order, one hop per step.
+	queue := []delivery{{to: origin, from: NoUpstream, ttl: ttl, hops: 0}}
+	visited[origin] = true
+	parent[origin] = NoUpstream
+
+	for len(queue) > 0 {
+		d := queue[0]
+		queue = queue[1:]
+		u := d.to
+
+		first := d.from == NoUpstream || !visited[u]
+		if !walk && !first {
+			// Already processed: suppressed duplicate.
+			st.Duplicates++
+			continue
+		}
+		if first && d.from != NoUpstream {
+			visited[u] = true
+			parent[u] = d.from
+		}
+		if first {
+			st.NodesReached++
+		}
+
+		hosts := u != origin && e.Content.Hosts(u, category)
+		if hosts && first {
+			st.Hits++
+			st.HitNodes = append(st.HitNodes, int32(u))
+			if !st.Found || d.hops < st.FirstHitHops {
+				st.FirstHitHops = d.hops
+			}
+			st.Found = true
+			e.propagateHit(meta, u, d.from, parent, &st)
+		}
+		if hosts && walk {
+			// A walker terminates when it lands on matching content,
+			// whether or not an earlier walker already claimed the hit.
+			continue
+		}
+
+		if d.ttl <= 0 {
+			continue
+		}
+		q := meta
+		q.TTL = d.ttl
+		q.Hops = d.hops
+		next := e.Routers[u].Route(u, d.from, q, e.G.Neighbors(u))
+		for _, v := range next {
+			st.QueryMessages++
+			queue = append(queue, delivery{to: int(v), from: u, ttl: d.ttl - 1, hops: d.hops + 1})
+		}
+	}
+	return st
+}
+
+// propagateHit routes a query-hit from node u back to the origin along the
+// reverse path recorded in parent, letting each node on the way observe
+// which neighbor produced the hit.
+func (e *Engine) propagateHit(meta Meta, u, upstreamAtU int, parent map[int]int, st *Stats) {
+	e.Routers[u].ObserveHit(u, upstreamAtU, meta, u)
+	via := u
+	node := upstreamAtU
+	for node != NoUpstream {
+		st.HitMessages++
+		up, ok := parent[node]
+		if !ok {
+			// Walker path bookkeeping can lose the trail when a node was
+			// first visited by a different walker; stop attribution there.
+			break
+		}
+		e.Routers[node].ObserveHit(node, up, meta, via)
+		via = node
+		node = up
+	}
+}
+
+// Aggregate summarizes a batch of per-query stats.
+type Aggregate struct {
+	Queries       int
+	SuccessRate   float64
+	AvgMessages   float64 // query + hit messages per query
+	AvgQueryMsgs  float64
+	AvgDuplicates float64
+	AvgHitHops    float64 // mean first-hit hops over successful queries
+	AvgReached    float64
+}
+
+// Summarize computes workload-level aggregates.
+func Summarize(all []Stats) Aggregate {
+	var a Aggregate
+	a.Queries = len(all)
+	if a.Queries == 0 {
+		return a
+	}
+	succ := 0
+	hitHops := 0
+	for _, s := range all {
+		if s.Found {
+			succ++
+			hitHops += s.FirstHitHops
+		}
+		a.AvgMessages += float64(s.Total())
+		a.AvgQueryMsgs += float64(s.QueryMessages)
+		a.AvgDuplicates += float64(s.Duplicates)
+		a.AvgReached += float64(s.NodesReached)
+	}
+	n := float64(a.Queries)
+	a.SuccessRate = float64(succ) / n
+	a.AvgMessages /= n
+	a.AvgQueryMsgs /= n
+	a.AvgDuplicates /= n
+	a.AvgReached /= n
+	if succ > 0 {
+		a.AvgHitHops = float64(hitHops) / float64(succ)
+	}
+	return a
+}
+
+// Workload drives nQueries random queries through the engine: origins are
+// uniform, categories drawn from each origin's interest profile.
+func (e *Engine) Workload(rng *stats.RNG, nQueries, ttl int) []Stats {
+	out := make([]Stats, 0, nQueries)
+	for i := 0; i < nQueries; i++ {
+		origin := rng.Intn(e.G.N())
+		cat := e.Content.DrawQuery(rng, origin)
+		out = append(out, e.RunQuery(origin, cat, ttl))
+	}
+	return out
+}

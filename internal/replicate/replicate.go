@@ -1,0 +1,135 @@
+// Package replicate implements the content-replication strategies studied
+// by Lv et al. [5] ("Search and replication in unstructured peer-to-peer
+// networks") — the companion mechanism to query routing that the paper's
+// introduction invokes when it argues reduced traffic "allows ... more
+// redundancy to be added to the system". After a successful search, copies
+// of the found content are placed according to a strategy:
+//
+//   - Owner: one copy at the requester (the passive caching every
+//     file-sharing client does).
+//   - Path: copies along the query's success path (the classic
+//     path-replication of expanding-ring/walk systems).
+//   - Random: the same number of copies as Path, at uniformly random
+//     nodes (the theoretically better-spread baseline of [5]).
+//
+// The strategies mutate a content.Model's placement, and the experiments
+// measure how replication interacts with each routing strategy.
+package replicate
+
+import (
+	"arq/internal/content"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// Strategy selects where replicas of category c go after a successful
+// search by origin whose hit traveled path (origin first, hit node last).
+type Strategy interface {
+	Name() string
+	// Place returns the nodes that should receive a replica.
+	Place(rng *stats.RNG, origin int, path []int, c trace.InterestID) []int
+}
+
+// Owner replicates only at the requester.
+type Owner struct{}
+
+// Name implements Strategy.
+func (Owner) Name() string { return "owner" }
+
+// Place implements Strategy.
+func (Owner) Place(_ *stats.RNG, origin int, _ []int, _ trace.InterestID) []int {
+	return []int{origin}
+}
+
+// Path replicates at every node on the success path.
+type Path struct{}
+
+// Name implements Strategy.
+func (Path) Name() string { return "path" }
+
+// Place implements Strategy.
+func (Path) Place(_ *stats.RNG, origin int, path []int, _ trace.InterestID) []int {
+	out := make([]int, 0, len(path)+1)
+	out = append(out, origin)
+	for _, u := range path {
+		if u != origin {
+			out = append(out, u)
+		}
+	}
+	return out
+}
+
+// Random replicates the same number of copies as Path would, at uniform
+// random nodes of an n-node network.
+type Random struct{ N int }
+
+// Name implements Strategy.
+func (Random) Name() string { return "random" }
+
+// Place implements Strategy.
+func (r Random) Place(rng *stats.RNG, origin int, path []int, _ trace.InterestID) []int {
+	count := len(path)
+	if count == 0 {
+		count = 1
+	}
+	if count > r.N {
+		count = r.N
+	}
+	return stats.SampleWithoutReplacement(rng, r.N, count)
+}
+
+// Cache applies a strategy to a content model with per-node capacity:
+// each node holds at most Capacity replicated categories, evicted FIFO
+// (the capacity-limited caching of [5]).
+type Cache struct {
+	Model    *content.Model
+	Strategy Strategy
+	Capacity int
+	RNG      *stats.RNG
+
+	held map[int][]trace.InterestID // node -> replicated categories, oldest first
+}
+
+// NewCache wraps a model with a replication policy.
+func NewCache(model *content.Model, s Strategy, capacity int, rng *stats.RNG) *Cache {
+	if capacity <= 0 {
+		capacity = 4
+	}
+	return &Cache{
+		Model: model, Strategy: s, Capacity: capacity, RNG: rng,
+		held: make(map[int][]trace.InterestID),
+	}
+}
+
+// OnSuccess replicates category c after a successful search. path is the
+// hit's reverse path (origin ... hit node). Returns the number of new
+// replicas placed.
+func (c *Cache) OnSuccess(origin int, path []int, cat trace.InterestID) int {
+	placed := 0
+	for _, u := range c.Strategy.Place(c.RNG, origin, path, cat) {
+		if c.addReplica(u, cat) {
+			placed++
+		}
+	}
+	return placed
+}
+
+// addReplica installs cat at node u, evicting the oldest cached category
+// if the node is at capacity. Returns false if u already serves cat.
+func (c *Cache) addReplica(u int, cat trace.InterestID) bool {
+	if c.Model.Hosts(u, cat) {
+		return false
+	}
+	held := c.held[u]
+	if len(held) >= c.Capacity {
+		oldest := held[0]
+		held = held[1:]
+		c.Model.RemoveHosted(u, oldest)
+	}
+	c.held[u] = append(held, cat)
+	c.Model.AddHosted(u, cat)
+	return true
+}
+
+// Replicas reports how many cached (not original) copies node u holds.
+func (c *Cache) Replicas(u int) int { return len(c.held[u]) }

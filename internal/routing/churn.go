@@ -1,0 +1,65 @@
+package routing
+
+import (
+	"arq/internal/peer"
+	"arq/internal/stats"
+)
+
+// Churner models node turnover in a live deployment: a departing peer's
+// slot is taken by a fresh one with new content, new interests, new
+// overlay links, and a blank router. This is the dynamic environment the
+// paper's adaptive policies exist for — rules pointing through a replaced
+// neighbor go stale and must age out.
+type Churner struct {
+	E   *peer.Engine
+	RNG *stats.RNG
+	// NewRouter builds the replacement node's router.
+	NewRouter func(u int) peer.Router
+	// TargetDegree is how many overlay links a replacement opens
+	// (default 3).
+	TargetDegree int
+}
+
+// Replace churns node u: drops its edges, connects it to TargetDegree
+// random peers, redraws its content/profile, and resets its router.
+func (c *Churner) Replace(u int) {
+	g := c.E.G
+	deg := c.TargetDegree
+	if deg <= 0 {
+		deg = 3
+	}
+	// Drop existing links.
+	nbrs := append([]int32(nil), g.Neighbors(u)...)
+	for _, v := range nbrs {
+		g.RemoveEdge(u, int(v))
+	}
+	// Open fresh ones.
+	for attempts := 0; g.Degree(u) < deg && attempts < 20*deg; attempts++ {
+		g.AddEdge(u, c.RNG.Intn(g.N()))
+	}
+	c.E.Content.Reassign(c.RNG, u)
+	c.E.Routers[u] = c.NewRouter(u)
+}
+
+// ReplaceRandom churns one uniformly-chosen node and returns it.
+func (c *Churner) ReplaceRandom() int {
+	u := c.RNG.Intn(c.E.G.N())
+	c.Replace(u)
+	return u
+}
+
+// ChurnWorkload interleaves queries with churn: after every
+// queriesPerChurn queries one random node is replaced. Returns the
+// measured per-query stats.
+func ChurnWorkload(rng *stats.RNG, s Searcher, e *peer.Engine, ch *Churner, nQueries, queriesPerChurn int) []peer.Stats {
+	out := make([]peer.Stats, 0, nQueries)
+	for i := 0; i < nQueries; i++ {
+		if queriesPerChurn > 0 && i > 0 && i%queriesPerChurn == 0 {
+			ch.ReplaceRandom()
+		}
+		origin := rng.Intn(e.G.N())
+		cat := e.Content.DrawQuery(rng, origin)
+		out = append(out, s.Search(origin, cat))
+	}
+	return out
+}

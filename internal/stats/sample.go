@@ -1,0 +1,184 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Zipf samples ranks 0..N-1 with probability proportional to
+// 1/(rank+1)^S. It precomputes the cumulative distribution once and answers
+// each draw with a binary search, which keeps sampling O(log N) and makes
+// the sampler safe to copy (it is immutable after construction apart from
+// the caller-supplied RNG).
+type Zipf struct {
+	cdf []float64
+}
+
+// NewZipf builds a Zipf sampler over n ranks with exponent s. It panics if
+// n <= 0 or s < 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: NewZipf requires n > 0")
+	}
+	if s < 0 {
+		panic("stats: NewZipf requires s >= 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), s)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample draws a rank in [0, N).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Prob returns the probability mass of rank i.
+func (z *Zipf) Prob(i int) float64 {
+	if i < 0 || i >= len(z.cdf) {
+		return 0
+	}
+	if i == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[i] - z.cdf[i-1]
+}
+
+// BoundedPareto samples from a Pareto distribution with shape Alpha
+// truncated to [Lo, Hi]. Heavy-tailed session lengths in the trace
+// generator use this: most draws are small, a minority are very large,
+// which is the empirical shape of peer uptimes in deployed unstructured
+// P2P networks.
+type BoundedPareto struct {
+	Alpha  float64
+	Lo, Hi float64
+}
+
+// NewBoundedPareto constructs the sampler. It panics unless
+// 0 < lo < hi and alpha > 0.
+func NewBoundedPareto(alpha, lo, hi float64) *BoundedPareto {
+	if !(lo > 0 && hi > lo) || alpha <= 0 {
+		panic("stats: NewBoundedPareto requires 0 < lo < hi and alpha > 0")
+	}
+	return &BoundedPareto{Alpha: alpha, Lo: lo, Hi: hi}
+}
+
+// Sample draws a value in [Lo, Hi] by inverse transform.
+func (p *BoundedPareto) Sample(r *RNG) float64 {
+	u := r.Float64()
+	la := math.Pow(p.Lo, p.Alpha)
+	ha := math.Pow(p.Hi, p.Alpha)
+	x := math.Pow(-(u*ha-u*la-ha)/(ha*la), -1/p.Alpha)
+	if x < p.Lo {
+		x = p.Lo
+	}
+	if x > p.Hi {
+		x = p.Hi
+	}
+	return x
+}
+
+// SampleLengthBiased draws from the length-biased version of the
+// distribution (density proportional to x·f(x)). Sampling the session
+// length of the peer occupying a slot at a random instant — rather than the
+// length of a freshly started session — requires length biasing: long
+// sessions occupy slots in proportion to their duration.
+func (p *BoundedPareto) SampleLengthBiased(r *RNG) float64 {
+	u := r.Float64()
+	a := p.Alpha
+	if a == 1 {
+		// Length-biased density is uniform on [Lo, Hi].
+		return p.Lo + u*(p.Hi-p.Lo)
+	}
+	e := 1 - a
+	loE := math.Pow(p.Lo, e)
+	hiE := math.Pow(p.Hi, e)
+	x := math.Pow(loE+u*(hiE-loE), 1/e)
+	if x < p.Lo {
+		x = p.Lo
+	}
+	if x > p.Hi {
+		x = p.Hi
+	}
+	return x
+}
+
+// UniformLengthBiased draws from the length-biased version of a uniform
+// distribution on [lo, hi] (density proportional to x).
+func UniformLengthBiased(r *RNG, lo, hi float64) float64 {
+	if !(hi > lo) || lo < 0 {
+		panic("stats: UniformLengthBiased requires 0 <= lo < hi")
+	}
+	u := r.Float64()
+	return math.Sqrt(lo*lo + u*(hi*hi-lo*lo))
+}
+
+// Mean returns the analytic mean of the bounded Pareto distribution.
+func (p *BoundedPareto) Mean() float64 {
+	a, l, h := p.Alpha, p.Lo, p.Hi
+	if a == 1 {
+		return (l * h / (h - l)) * math.Log(h/l)
+	}
+	la := math.Pow(l, a)
+	return la / (1 - math.Pow(l/h, a)) * (a / (a - 1)) *
+		(1/math.Pow(l, a-1) - 1/math.Pow(h, a-1))
+}
+
+// WeightedChoice selects an index from weights with probability
+// proportional to its weight. Weights must be non-negative with a positive
+// sum; otherwise it panics. O(n) per draw — intended for small n (e.g.
+// choosing among a node's neighbors); use Zipf for large rank spaces.
+func WeightedChoice(r *RNG, weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("stats: WeightedChoice requires non-negative weights")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("stats: WeightedChoice requires a positive weight sum")
+	}
+	u := r.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// SampleWithoutReplacement returns k distinct values drawn uniformly from
+// [0, n). It panics if k > n or k < 0. The result is in random order.
+func SampleWithoutReplacement(r *RNG, n, k int) []int {
+	if k < 0 || k > n {
+		panic("stats: SampleWithoutReplacement requires 0 <= k <= n")
+	}
+	// Floyd's algorithm: O(k) expected time, O(k) space.
+	chosen := make(map[int]struct{}, k)
+	out := make([]int, 0, k)
+	for j := n - k; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := chosen[t]; ok {
+			t = j
+		}
+		chosen[t] = struct{}{}
+		out = append(out, t)
+	}
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}

@@ -1,0 +1,154 @@
+// Package stream provides the data-stream frequency-mining substrate the
+// paper's future-work incremental rule maintenance builds on (§VI, citing
+// Babcock et al. [18]): Lossy Counting for frequent items over unbounded
+// streams with bounded memory and a deterministic error guarantee, and
+// exponentially-decayed counters for recency-weighted support.
+package stream
+
+import "sort"
+
+// LossyCounter implements the Lossy Counting algorithm of Manku & Motwani:
+// after N insertions it reports every item whose true frequency exceeds
+// s·N while using O(1/epsilon · log(epsilon·N)) entries, and each reported
+// count undercounts the truth by at most epsilon·N.
+type LossyCounter[K comparable] struct {
+	epsilon float64
+	width   int // bucket width = ceil(1/epsilon)
+	n       int // items observed
+	bucket  int // current bucket id
+	entries map[K]lcEntry
+}
+
+type lcEntry struct {
+	count int
+	delta int // maximum undercount when the entry was created
+}
+
+// NewLossyCounter returns a counter with error bound epsilon (0 < epsilon
+// < 1); smaller epsilon means more memory and tighter counts.
+func NewLossyCounter[K comparable](epsilon float64) *LossyCounter[K] {
+	if epsilon <= 0 || epsilon >= 1 {
+		panic("stream: NewLossyCounter requires 0 < epsilon < 1")
+	}
+	width := int(1/epsilon + 0.9999999)
+	return &LossyCounter[K]{
+		epsilon: epsilon,
+		width:   width,
+		bucket:  1,
+		entries: make(map[K]lcEntry),
+	}
+}
+
+// Add observes one occurrence of k.
+func (lc *LossyCounter[K]) Add(k K) {
+	lc.n++
+	if e, ok := lc.entries[k]; ok {
+		e.count++
+		lc.entries[k] = e
+	} else {
+		lc.entries[k] = lcEntry{count: 1, delta: lc.bucket - 1}
+	}
+	if lc.n%lc.width == 0 {
+		// Bucket boundary: evict entries that cannot be frequent.
+		for key, e := range lc.entries {
+			if e.count+e.delta <= lc.bucket {
+				delete(lc.entries, key)
+			}
+		}
+		lc.bucket++
+	}
+}
+
+// N returns the number of observations so far.
+func (lc *LossyCounter[K]) N() int { return lc.n }
+
+// Entries returns the number of tracked items (the memory footprint).
+func (lc *LossyCounter[K]) Entries() int { return len(lc.entries) }
+
+// Count returns the maintained (possibly undercounted) frequency of k.
+func (lc *LossyCounter[K]) Count(k K) int { return lc.entries[k].count }
+
+// ItemCount pairs an item with its maintained count.
+type ItemCount[K comparable] struct {
+	Item  K
+	Count int
+}
+
+// Frequent returns every item whose true frequency may exceed support·N —
+// i.e. maintained count >= (support − epsilon)·N — sorted by descending
+// count. The guarantee: no item with true frequency above support·N is
+// missed.
+func (lc *LossyCounter[K]) Frequent(support float64) []ItemCount[K] {
+	threshold := (support - lc.epsilon) * float64(lc.n)
+	var out []ItemCount[K]
+	for k, e := range lc.entries {
+		if float64(e.count) >= threshold {
+			out = append(out, ItemCount[K]{Item: k, Count: e.count})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+// DecayCounter maintains exponentially-decayed counts keyed by K with lazy
+// decay: each entry records the tick it was last touched and is discounted
+// by Decay^(elapsed ticks) on access. Advance the clock with Tick.
+type DecayCounter[K comparable] struct {
+	decay   float64
+	tick    int
+	entries map[K]decayEntry
+}
+
+type decayEntry struct {
+	value float64
+	tick  int
+}
+
+// NewDecayCounter returns a counter with per-tick decay factor in (0, 1].
+func NewDecayCounter[K comparable](decay float64) *DecayCounter[K] {
+	if decay <= 0 || decay > 1 {
+		panic("stream: NewDecayCounter requires decay in (0, 1]")
+	}
+	return &DecayCounter[K]{decay: decay, entries: make(map[K]decayEntry)}
+}
+
+// Tick advances the decay clock one step and prunes negligible entries.
+func (dc *DecayCounter[K]) Tick() {
+	dc.tick++
+	for k, e := range dc.entries {
+		if dc.valueAt(e) < 1e-3 {
+			delete(dc.entries, k)
+		}
+	}
+}
+
+func (dc *DecayCounter[K]) valueAt(e decayEntry) float64 {
+	v := e.value
+	for t := e.tick; t < dc.tick; t++ {
+		v *= dc.decay
+	}
+	return v
+}
+
+// Add increases k's decayed count by w.
+func (dc *DecayCounter[K]) Add(k K, w float64) {
+	e, ok := dc.entries[k]
+	if ok {
+		e.value = dc.valueAt(e)
+	}
+	e.value += w
+	e.tick = dc.tick
+	dc.entries[k] = e
+}
+
+// Get returns k's decayed count as of the current tick.
+func (dc *DecayCounter[K]) Get(k K) float64 {
+	e, ok := dc.entries[k]
+	if !ok {
+		return 0
+	}
+	return dc.valueAt(e)
+}
+
+// Len returns the number of retained entries.
+func (dc *DecayCounter[K]) Len() int { return len(dc.entries) }

@@ -1,0 +1,168 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"arq/internal/stats"
+)
+
+func TestLossyCounterNoFalseNegatives(t *testing.T) {
+	// Items with true frequency above support*N must always be reported.
+	rng := stats.NewRNG(1)
+	z := stats.NewZipf(200, 1.1)
+	lc := NewLossyCounter[int](0.001)
+	truth := map[int]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		k := z.Sample(rng)
+		truth[k]++
+		lc.Add(k)
+	}
+	const support = 0.01
+	reported := map[int]bool{}
+	for _, ic := range lc.Frequent(support) {
+		reported[ic.Item] = true
+	}
+	for k, c := range truth {
+		if float64(c) > support*float64(n) && !reported[k] {
+			t.Fatalf("item %d with frequency %d missed", k, c)
+		}
+	}
+}
+
+func TestLossyCounterUndercountBound(t *testing.T) {
+	rng := stats.NewRNG(2)
+	z := stats.NewZipf(100, 1.0)
+	eps := 0.002
+	lc := NewLossyCounter[int](eps)
+	truth := map[int]int{}
+	const n = 50000
+	for i := 0; i < n; i++ {
+		k := z.Sample(rng)
+		truth[k]++
+		lc.Add(k)
+	}
+	for k, c := range truth {
+		got := lc.Count(k)
+		if got > c {
+			t.Fatalf("overcount for %d: %d > %d", k, got, c)
+		}
+		if got > 0 && c-got > int(eps*float64(n))+1 {
+			t.Fatalf("undercount bound violated for %d: true %d kept %d", k, c, got)
+		}
+	}
+}
+
+func TestLossyCounterBoundedMemory(t *testing.T) {
+	rng := stats.NewRNG(3)
+	lc := NewLossyCounter[uint64](0.01)
+	// A stream of mostly-unique items: memory must stay ~O(1/eps·log).
+	for i := 0; i < 200000; i++ {
+		lc.Add(rng.Uint64() % 1_000_000)
+	}
+	if lc.Entries() > 2000 {
+		t.Fatalf("entries = %d, memory not bounded", lc.Entries())
+	}
+	if lc.N() != 200000 {
+		t.Fatalf("n = %d", lc.N())
+	}
+}
+
+func TestLossyCounterFrequentSorted(t *testing.T) {
+	lc := NewLossyCounter[string](0.1)
+	for i := 0; i < 30; i++ {
+		lc.Add("a")
+	}
+	for i := 0; i < 10; i++ {
+		lc.Add("b")
+	}
+	out := lc.Frequent(0.2)
+	if len(out) == 0 || out[0].Item != "a" {
+		t.Fatalf("frequent = %v", out)
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Count > out[i-1].Count {
+			t.Fatal("not sorted by count")
+		}
+	}
+}
+
+func TestLossyCounterPanicsOnBadEpsilon(t *testing.T) {
+	for _, eps := range []float64{0, 1, -0.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("epsilon %v accepted", eps)
+				}
+			}()
+			NewLossyCounter[int](eps)
+		}()
+	}
+}
+
+func TestDecayCounterBasics(t *testing.T) {
+	dc := NewDecayCounter[string](0.5)
+	dc.Add("x", 4)
+	if dc.Get("x") != 4 {
+		t.Fatalf("fresh value = %v", dc.Get("x"))
+	}
+	dc.Tick()
+	if dc.Get("x") != 2 {
+		t.Fatalf("after one tick = %v", dc.Get("x"))
+	}
+	dc.Add("x", 1) // 2 + 1
+	dc.Tick()
+	if dc.Get("x") != 1.5 {
+		t.Fatalf("after add+tick = %v", dc.Get("x"))
+	}
+	if dc.Get("missing") != 0 {
+		t.Fatal("missing key must be 0")
+	}
+}
+
+func TestDecayCounterPrunes(t *testing.T) {
+	dc := NewDecayCounter[int](0.1)
+	dc.Add(1, 1)
+	for i := 0; i < 10; i++ {
+		dc.Tick()
+	}
+	if dc.Len() != 0 {
+		t.Fatalf("negligible entry retained: len=%d", dc.Len())
+	}
+}
+
+func TestDecayCounterLazyEqualsEager(t *testing.T) {
+	// Lazy decay must equal applying decay each tick eagerly.
+	f := func(addsRaw []uint8) bool {
+		dc := NewDecayCounter[int](0.8)
+		eager := 0.0
+		for _, a := range addsRaw {
+			if a%3 == 0 {
+				dc.Tick()
+				eager *= 0.8
+				if eager < 1e-3 {
+					// The counter prunes below 1e-3; mirror that.
+					if dc.Get(7) != 0 && math.Abs(dc.Get(7)-eager) > 1e-9 {
+						return false
+					}
+				}
+			} else {
+				w := float64(a%5) + 0.5
+				dc.Add(7, w)
+				eager += w
+			}
+			if math.Abs(dc.Get(7)-eager) > 1e-6*(1+eager) {
+				// Allow pruning differences only when negligible.
+				if eager > 1e-3 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

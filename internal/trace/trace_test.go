@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mkPairs(n int) []Pair {
+	ps := make([]Pair, n)
+	for i := range ps {
+		ps[i] = Pair{
+			GUID:     GUID(i + 1),
+			Source:   HostID(i%7 + 1),
+			Replier:  HostID(i%3 + 100),
+			Interest: InterestID(i % 5),
+		}
+	}
+	return ps
+}
+
+func TestSliceSourceBlocks(t *testing.T) {
+	src := NewSliceSource(mkPairs(25), 10)
+	var sizes []int
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		sizes = append(sizes, len(b))
+	}
+	if len(sizes) != 3 || sizes[0] != 10 || sizes[1] != 10 || sizes[2] != 5 {
+		t.Fatalf("block sizes = %v", sizes)
+	}
+	if src.BlockSize() != 10 {
+		t.Fatalf("BlockSize = %d", src.BlockSize())
+	}
+}
+
+func TestSliceSourceReset(t *testing.T) {
+	src := NewSliceSource(mkPairs(5), 5)
+	if _, ok := src.Next(); !ok {
+		t.Fatal("expected a block")
+	}
+	if _, ok := src.Next(); ok {
+		t.Fatal("expected exhaustion")
+	}
+	src.Reset()
+	b, ok := src.Next()
+	if !ok || len(b) != 5 {
+		t.Fatal("reset did not rewind")
+	}
+}
+
+func TestSliceSourcePreservesOrder(t *testing.T) {
+	pairs := mkPairs(30)
+	src := NewSliceSource(pairs, 7)
+	var got []Pair
+	for {
+		b, ok := src.Next()
+		if !ok {
+			break
+		}
+		got = append(got, b...)
+	}
+	if len(got) != len(pairs) {
+		t.Fatalf("got %d pairs, want %d", len(got), len(pairs))
+	}
+	for i := range got {
+		if got[i].GUID != pairs[i].GUID {
+			t.Fatalf("order broken at %d", i)
+		}
+	}
+}
+
+func TestDedupKeepsFirstUse(t *testing.T) {
+	qs := []Query{
+		{GUID: 1, Source: 10},
+		{GUID: 2, Source: 11},
+		{GUID: 1, Source: 12}, // duplicate GUID, different query
+		{GUID: 3, Source: 13},
+		{GUID: 2, Source: 14},
+	}
+	kept, removed := Dedup(qs)
+	if removed != 2 {
+		t.Fatalf("removed = %d, want 2", removed)
+	}
+	if len(kept) != 3 {
+		t.Fatalf("kept = %d, want 3", len(kept))
+	}
+	if kept[0].Source != 10 || kept[1].Source != 11 || kept[2].Source != 13 {
+		t.Fatalf("wrong survivors: %+v", kept)
+	}
+}
+
+func TestDedupIdempotent(t *testing.T) {
+	f := func(guids []uint16) bool {
+		qs := make([]Query, len(guids))
+		for i, g := range guids {
+			qs[i] = Query{GUID: GUID(g), Source: HostID(i + 1)}
+		}
+		once, _ := Dedup(qs)
+		twice, removed := Dedup(once)
+		if removed != 0 || len(twice) != len(once) {
+			return false
+		}
+		for i := range once {
+			if once[i] != twice[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoinPairsQueriesWithReplies(t *testing.T) {
+	qs := []Query{
+		{GUID: 1, Source: 10, Interest: 3, Time: 5},
+		{GUID: 2, Source: 11, Interest: 4, Time: 6},
+	}
+	rs := []Reply{
+		{GUID: 2, From: 20, Time: 8},
+		{GUID: 1, From: 21, Time: 9},
+		{GUID: 9, From: 22, Time: 10}, // no matching query
+		{GUID: 1, From: 23, Time: 11}, // second reply to same query
+	}
+	pairs, dropped := Join(qs, rs)
+	if dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", dropped)
+	}
+	if len(pairs) != 3 {
+		t.Fatalf("pairs = %d, want 3", len(pairs))
+	}
+	// Pairs come in reply order and carry the query's source and interest.
+	if pairs[0].Source != 11 || pairs[0].Replier != 20 || pairs[0].Interest != 4 {
+		t.Fatalf("bad first pair: %+v", pairs[0])
+	}
+	if pairs[1].Source != 10 || pairs[1].Replier != 21 {
+		t.Fatalf("bad second pair: %+v", pairs[1])
+	}
+	if pairs[2].Replier != 23 || pairs[2].Source != 10 {
+		t.Fatalf("bad third pair: %+v", pairs[2])
+	}
+}
+
+func TestJoinEveryReplyPairedOrDropped(t *testing.T) {
+	f := func(qGUIDs, rGUIDs []uint8) bool {
+		qs := make([]Query, len(qGUIDs))
+		for i, g := range qGUIDs {
+			qs[i] = Query{GUID: GUID(g), Source: HostID(i + 1)}
+		}
+		rs := make([]Reply, len(rGUIDs))
+		for i, g := range rGUIDs {
+			rs[i] = Reply{GUID: GUID(g), From: HostID(i + 1)}
+		}
+		pairs, dropped := Join(qs, rs)
+		return len(pairs)+dropped == len(rs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHostIDString(t *testing.T) {
+	if got := HostID(0x01020304).String(); got != "1.2.3.4" {
+		t.Fatalf("HostID string = %q", got)
+	}
+}
+
+func TestRoundTripIO(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	q := Query{GUID: 7, Time: 1, Source: 2, Interest: 3, Text: "free software"}
+	r := Reply{GUID: 7, Time: 2, From: 4, Host: 5, Filename: "gcc.tar.gz"}
+	p := Pair{GUID: 7, Source: 2, Replier: 4, Interest: 3, QueryTime: 1, ReplyTime: 2}
+	if err := w.WriteQuery(q); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteReply(r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WritePair(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	qs, rs, ps, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0] != q {
+		t.Fatalf("query round trip: %+v", qs)
+	}
+	if len(rs) != 1 || rs[0] != r {
+		t.Fatalf("reply round trip: %+v", rs)
+	}
+	if len(ps) != 1 || ps[0] != p {
+		t.Fatalf("pair round trip: %+v", ps)
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	_, _, _, err := ReadAll(strings.NewReader("{\"k\":\"x\"}\n"))
+	if err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	_, _, _, err = ReadAll(strings.NewReader("not json\n"))
+	if err == nil {
+		t.Fatal("malformed json accepted")
+	}
+	_, _, _, err = ReadAll(strings.NewReader("{\"k\":\"q\"}\n"))
+	if err == nil {
+		t.Fatal("kind q without payload accepted")
+	}
+}
+
+func TestReaderSkipsBlankLines(t *testing.T) {
+	qs, _, _, err := ReadAll(strings.NewReader("\n{\"k\":\"q\",\"q\":{\"guid\":1,\"t\":0,\"src\":9,\"interest\":0}}\n\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 1 || qs[0].Source != 9 {
+		t.Fatalf("got %+v", qs)
+	}
+}
+
+func TestWritePairsRoundTrip(t *testing.T) {
+	pairs := mkPairs(12)
+	var buf bytes.Buffer
+	if err := WritePairs(&buf, pairs); err != nil {
+		t.Fatal(err)
+	}
+	_, _, ps, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != len(pairs) {
+		t.Fatalf("round trip lost pairs: %d vs %d", len(ps), len(pairs))
+	}
+	for i := range ps {
+		if ps[i] != pairs[i] {
+			t.Fatalf("pair %d mismatch", i)
+		}
+	}
+}

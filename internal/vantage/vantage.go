@@ -1,0 +1,362 @@
+// Package vantage implements a minimal Gnutella 0.4 servent over real TCP
+// (internal/wire) and the trace-capturing "modified node" of paper §IV-A:
+// a servent that participates in flooding normally while logging every
+// query it relays and every query-hit that comes back, producing the
+// query/reply records the rest of the system consumes.
+//
+// The loopback integration tests run several servents in-process, flood
+// queries through a chain, capture the traffic at the middle node, and
+// mine routing rules from the captured pairs — the paper's full data path
+// on a live protocol stack.
+package vantage
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"arq/internal/keyword"
+	"arq/internal/wire"
+)
+
+// SharedFile is one item in the servent's library.
+type SharedFile struct {
+	Index uint32
+	Size  uint32
+	Name  string
+}
+
+// Servent is a minimal Gnutella peer: it accepts and dials connections,
+// floods queries with TTL and GUID duplicate suppression, answers queries
+// that match its library, and routes query-hits back along the reverse
+// path.
+type Servent struct {
+	id  wire.GUID
+	ln  net.Listener
+	wg  sync.WaitGroup
+	cap *Capture // optional trace capture
+
+	mu      sync.Mutex
+	conns   map[int]*peerConn
+	nextCID int
+	library []SharedFile
+	index   *keyword.Index                   // token index over library file names
+	seen    map[wire.GUID]int                // query GUID -> conn id it arrived on (-1 = ours)
+	pending map[wire.GUID]chan wire.QueryHit // our own searches
+	closed  bool
+}
+
+type peerConn struct {
+	id   int
+	conn net.Conn
+	wmu  sync.Mutex
+}
+
+func (p *peerConn) send(m *wire.Message) error {
+	p.wmu.Lock()
+	defer p.wmu.Unlock()
+	return m.Encode(p.conn)
+}
+
+// Options configures a servent.
+type Options struct {
+	// Capture, when non-nil, records relayed queries and returning hits.
+	Capture *Capture
+	// ServentID defaults to a listener-address-derived id.
+	ServentID wire.GUID
+}
+
+// Listen starts a servent on addr (use "127.0.0.1:0" in tests).
+func Listen(addr string, opts Options) (*Servent, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Servent{
+		id:      opts.ServentID,
+		ln:      ln,
+		cap:     opts.Capture,
+		conns:   make(map[int]*peerConn),
+		index:   keyword.NewIndex(),
+		seen:    make(map[wire.GUID]int),
+		pending: make(map[wire.GUID]chan wire.QueryHit),
+	}
+	copy(s.id[:], ln.Addr().String())
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the listening address.
+func (s *Servent) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the servent down and waits for its goroutines.
+func (s *Servent) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	conns := make([]*peerConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	_ = s.ln.Close()
+	for _, c := range conns {
+		_ = c.conn.Close()
+	}
+	s.wg.Wait()
+}
+
+// Share adds a file to the servent's library and indexes its name.
+func (s *Servent) Share(name string, size uint32) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.library = append(s.library, SharedFile{
+		Index: uint32(len(s.library) + 1), Size: size, Name: name,
+	})
+	s.index.Add(int32(len(s.library)-1), name)
+}
+
+// ConnectTo dials another servent and performs the handshake.
+func (s *Servent) ConnectTo(addr string) error {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if err := wire.ClientHandshake(conn); err != nil {
+		_ = conn.Close()
+		return err
+	}
+	s.startConn(conn)
+	return nil
+}
+
+func (s *Servent) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if err := wire.ServerHandshake(conn); err != nil {
+				_ = conn.Close()
+				return
+			}
+			s.startConn(conn)
+		}()
+	}
+}
+
+func (s *Servent) startConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		_ = conn.Close()
+		return
+	}
+	pc := &peerConn{id: s.nextCID, conn: conn}
+	s.nextCID++
+	s.conns[pc.id] = pc
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		_ = wire.ReadLoop(conn, func(m *wire.Message) error {
+			s.handle(pc, m)
+			return nil
+		})
+		s.mu.Lock()
+		delete(s.conns, pc.id)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+}
+
+// NumConns reports the live connection count.
+func (s *Servent) NumConns() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.conns)
+}
+
+func (s *Servent) handle(from *peerConn, m *wire.Message) {
+	switch m.Type {
+	case wire.TypePing:
+		s.handlePing(from, m)
+	case wire.TypeQuery:
+		s.handleQuery(from, m)
+	case wire.TypeQueryHit:
+		s.handleQueryHit(from, m)
+	}
+}
+
+func (s *Servent) handlePing(from *peerConn, m *wire.Message) {
+	s.mu.Lock()
+	files := uint32(len(s.library))
+	s.mu.Unlock()
+	pong := (&wire.Pong{Port: 0, Files: files}).Marshal()
+	reply := &wire.Message{ID: m.ID, Type: wire.TypePong, TTL: m.Hops + 1, Payload: pong}
+	_ = from.send(reply)
+}
+
+func (s *Servent) handleQuery(from *peerConn, m *wire.Message) {
+	q, err := wire.UnmarshalQuery(m.Payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	if _, dup := s.seen[m.ID]; dup {
+		s.mu.Unlock()
+		return
+	}
+	s.seen[m.ID] = from.id
+	matches := matchLibrary(s.index, s.library, q.Search)
+	targets := make([]*peerConn, 0, len(s.conns))
+	if m.TTL > 1 {
+		for _, c := range s.conns {
+			if c.id != from.id {
+				targets = append(targets, c)
+			}
+		}
+	}
+	s.mu.Unlock()
+
+	if s.cap != nil {
+		s.cap.recordQuery(from.id, m.ID, q.Search)
+	}
+
+	// Answer from the local library.
+	if len(matches) > 0 {
+		results := make([]wire.Result, len(matches))
+		for i, f := range matches {
+			results[i] = wire.Result{FileIndex: f.Index, FileSize: f.Size, FileName: f.Name}
+		}
+		hit := &wire.QueryHit{Results: results, ServentID: s.id}
+		payload, err := hit.Marshal()
+		if err == nil {
+			_ = from.send(&wire.Message{
+				ID: m.ID, Type: wire.TypeQueryHit, TTL: m.Hops + 1, Payload: payload,
+			})
+		}
+	}
+
+	// Flood onward.
+	fwd := &wire.Message{ID: m.ID, Type: wire.TypeQuery, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
+	for _, c := range targets {
+		_ = c.send(fwd)
+	}
+}
+
+func (s *Servent) handleQueryHit(from *peerConn, m *wire.Message) {
+	hit, err := wire.UnmarshalQueryHit(m.Payload)
+	if err != nil {
+		return
+	}
+	s.mu.Lock()
+	upstream, known := s.seen[m.ID]
+	var target *peerConn
+	var waiter chan wire.QueryHit
+	if known {
+		if upstream == -1 {
+			waiter = s.pending[m.ID]
+		} else {
+			target = s.conns[upstream]
+		}
+	}
+	s.mu.Unlock()
+	if !known {
+		return
+	}
+	if s.cap != nil {
+		s.cap.recordReply(from.id, m.ID, hit)
+	}
+	if waiter != nil {
+		select {
+		case waiter <- *hit:
+		default:
+		}
+		return
+	}
+	if target != nil {
+		_ = target.send(&wire.Message{
+			ID: m.ID, Type: wire.TypeQueryHit,
+			TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload,
+		})
+	}
+}
+
+// guidCounter derives unique query GUIDs for Search.
+var guidCounter struct {
+	sync.Mutex
+	n uint64
+}
+
+func newGUID(seed string) wire.GUID {
+	guidCounter.Lock()
+	guidCounter.n++
+	n := guidCounter.n
+	guidCounter.Unlock()
+	var g wire.GUID
+	copy(g[:], seed)
+	for i := 0; i < 8; i++ {
+		g[8+i] = byte(n >> (8 * i))
+	}
+	return g
+}
+
+// Search floods a query from this servent and waits up to timeout for the
+// first query-hit.
+func (s *Servent) Search(text string, ttl byte, timeout time.Duration) (*wire.QueryHit, error) {
+	id := newGUID(s.Addr())
+	ch := make(chan wire.QueryHit, 4)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, errors.New("vantage: servent closed")
+	}
+	s.seen[id] = -1
+	s.pending[id] = ch
+	targets := make([]*peerConn, 0, len(s.conns))
+	for _, c := range s.conns {
+		targets = append(targets, c)
+	}
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		delete(s.pending, id)
+		s.mu.Unlock()
+	}()
+
+	payload := (&wire.Query{Search: text}).Marshal()
+	msg := &wire.Message{ID: id, Type: wire.TypeQuery, TTL: ttl, Payload: payload}
+	for _, c := range targets {
+		_ = c.send(msg)
+	}
+	select {
+	case hit := <-ch:
+		return &hit, nil
+	case <-time.After(timeout):
+		return nil, fmt.Errorf("vantage: no hit for %q within %v", text, timeout)
+	}
+}
+
+// matchLibrary returns files whose name contains every token of the
+// search string — the conjunctive keyword matching of classic servents,
+// answered from the inverted index.
+func matchLibrary(ix *keyword.Index, lib []SharedFile, search string) []SharedFile {
+	ids := ix.Query(search)
+	out := make([]SharedFile, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, lib[id])
+	}
+	return out
+}

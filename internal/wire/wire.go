@@ -1,0 +1,278 @@
+// Package wire implements the Gnutella 0.4 wire protocol — the protocol
+// spoken by the modified node that collected the paper's trace (§IV-A):
+// the connect handshake, the 23-byte descriptor header, and the Ping,
+// Pong, Query, and QueryHit payloads. internal/vantage builds the
+// trace-capturing servent on top of it, and the loopback integration tests
+// drive real TCP connections through net.
+package wire
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Descriptor type codes of the 0.4 protocol.
+const (
+	TypePing     byte = 0x00
+	TypePong     byte = 0x01
+	TypePush     byte = 0x40
+	TypeQuery    byte = 0x80
+	TypeQueryHit byte = 0x81
+)
+
+// GUID is the 16-byte descriptor identifier.
+type GUID [16]byte
+
+// headerLen is the fixed descriptor header size: GUID(16) + type(1) +
+// TTL(1) + hops(1) + payload length(4).
+const headerLen = 23
+
+// MaxPayload bounds accepted payloads; real servents enforced similar
+// limits to survive malformed peers.
+const MaxPayload = 64 * 1024
+
+// Message is one Gnutella descriptor: header plus raw payload.
+type Message struct {
+	ID      GUID
+	Type    byte
+	TTL     byte
+	Hops    byte
+	Payload []byte
+}
+
+// ErrTooLarge reports a payload length beyond MaxPayload.
+var ErrTooLarge = errors.New("wire: payload too large")
+
+// Encode writes the descriptor to w in wire format.
+func (m *Message) Encode(w io.Writer) error {
+	if len(m.Payload) > MaxPayload {
+		return ErrTooLarge
+	}
+	var hdr [headerLen]byte
+	copy(hdr[:16], m.ID[:])
+	hdr[16] = m.Type
+	hdr[17] = m.TTL
+	hdr[18] = m.Hops
+	binary.LittleEndian.PutUint32(hdr[19:], uint32(len(m.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(m.Payload)
+	return err
+}
+
+// Decode reads one descriptor from r.
+func Decode(r io.Reader) (*Message, error) {
+	var hdr [headerLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[19:])
+	if n > MaxPayload {
+		return nil, ErrTooLarge
+	}
+	m := &Message{Type: hdr[16], TTL: hdr[17], Hops: hdr[18]}
+	copy(m.ID[:], hdr[:16])
+	if n > 0 {
+		m.Payload = make([]byte, n)
+		if _, err := io.ReadFull(r, m.Payload); err != nil {
+			return nil, err
+		}
+	}
+	return m, nil
+}
+
+// Query is the 0x80 payload: minimum speed plus the search string.
+type Query struct {
+	MinSpeed uint16
+	Search   string
+}
+
+// Marshal renders the payload bytes.
+func (q *Query) Marshal() []byte {
+	out := make([]byte, 2+len(q.Search)+1)
+	binary.LittleEndian.PutUint16(out, q.MinSpeed)
+	copy(out[2:], q.Search)
+	return out
+}
+
+// UnmarshalQuery parses a 0x80 payload.
+func UnmarshalQuery(p []byte) (*Query, error) {
+	if len(p) < 3 {
+		return nil, errors.New("wire: query payload too short")
+	}
+	if p[len(p)-1] != 0 {
+		return nil, errors.New("wire: query search string not terminated")
+	}
+	return &Query{
+		MinSpeed: binary.LittleEndian.Uint16(p),
+		Search:   string(p[2 : len(p)-1]),
+	}, nil
+}
+
+// Result is one entry of a QueryHit result set.
+type Result struct {
+	FileIndex uint32
+	FileSize  uint32
+	FileName  string
+}
+
+// QueryHit is the 0x81 payload: responder address, result set, servent ID.
+type QueryHit struct {
+	Port      uint16
+	IPv4      [4]byte
+	Speed     uint32
+	Results   []Result
+	ServentID GUID
+}
+
+// Marshal renders the payload bytes.
+func (h *QueryHit) Marshal() ([]byte, error) {
+	if len(h.Results) > 255 {
+		return nil, errors.New("wire: too many results for one query hit")
+	}
+	var out []byte
+	out = append(out, byte(len(h.Results)))
+	var tmp [4]byte
+	binary.LittleEndian.PutUint16(tmp[:2], h.Port)
+	out = append(out, tmp[:2]...)
+	out = append(out, h.IPv4[:]...)
+	binary.LittleEndian.PutUint32(tmp[:], h.Speed)
+	out = append(out, tmp[:]...)
+	for _, r := range h.Results {
+		binary.LittleEndian.PutUint32(tmp[:], r.FileIndex)
+		out = append(out, tmp[:]...)
+		binary.LittleEndian.PutUint32(tmp[:], r.FileSize)
+		out = append(out, tmp[:]...)
+		out = append(out, r.FileName...)
+		out = append(out, 0, 0) // terminator + empty extension block
+	}
+	out = append(out, h.ServentID[:]...)
+	return out, nil
+}
+
+// UnmarshalQueryHit parses a 0x81 payload.
+func UnmarshalQueryHit(p []byte) (*QueryHit, error) {
+	if len(p) < 11+16 {
+		return nil, errors.New("wire: query hit payload too short")
+	}
+	h := &QueryHit{}
+	n := int(p[0])
+	h.Port = binary.LittleEndian.Uint16(p[1:])
+	copy(h.IPv4[:], p[3:7])
+	h.Speed = binary.LittleEndian.Uint32(p[7:11])
+	rest := p[11 : len(p)-16]
+	for i := 0; i < n; i++ {
+		if len(rest) < 10 {
+			return nil, fmt.Errorf("wire: truncated result %d", i)
+		}
+		var r Result
+		r.FileIndex = binary.LittleEndian.Uint32(rest)
+		r.FileSize = binary.LittleEndian.Uint32(rest[4:])
+		rest = rest[8:]
+		end := -1
+		for j, b := range rest {
+			if b == 0 {
+				end = j
+				break
+			}
+		}
+		if end < 0 || end+1 >= len(rest) || rest[end+1] != 0 {
+			return nil, fmt.Errorf("wire: unterminated result name %d", i)
+		}
+		r.FileName = string(rest[:end])
+		rest = rest[end+2:]
+		h.Results = append(h.Results, r)
+	}
+	if len(rest) != 0 {
+		return nil, errors.New("wire: trailing bytes in query hit")
+	}
+	copy(h.ServentID[:], p[len(p)-16:])
+	return h, nil
+}
+
+// Pong is the 0x01 payload: responder address and shared-library size.
+type Pong struct {
+	Port   uint16
+	IPv4   [4]byte
+	Files  uint32
+	Kbytes uint32
+}
+
+// Marshal renders the payload bytes.
+func (p *Pong) Marshal() []byte {
+	out := make([]byte, 14)
+	binary.LittleEndian.PutUint16(out, p.Port)
+	copy(out[2:6], p.IPv4[:])
+	binary.LittleEndian.PutUint32(out[6:], p.Files)
+	binary.LittleEndian.PutUint32(out[10:], p.Kbytes)
+	return out
+}
+
+// UnmarshalPong parses a 0x01 payload.
+func UnmarshalPong(b []byte) (*Pong, error) {
+	if len(b) != 14 {
+		return nil, errors.New("wire: pong payload must be 14 bytes")
+	}
+	p := &Pong{}
+	p.Port = binary.LittleEndian.Uint16(b)
+	copy(p.IPv4[:], b[2:6])
+	p.Files = binary.LittleEndian.Uint32(b[6:])
+	p.Kbytes = binary.LittleEndian.Uint32(b[10:])
+	return p, nil
+}
+
+// Handshake strings of the 0.4 protocol.
+const (
+	connectRequest = "GNUTELLA CONNECT/0.4\n\n"
+	connectOK      = "GNUTELLA OK\n\n"
+)
+
+// ClientHandshake performs the initiator side of the connect handshake.
+func ClientHandshake(rw io.ReadWriter) error {
+	if _, err := io.WriteString(rw, connectRequest); err != nil {
+		return err
+	}
+	return expect(rw, connectOK)
+}
+
+// ServerHandshake performs the acceptor side of the connect handshake.
+func ServerHandshake(rw io.ReadWriter) error {
+	if err := expect(rw, connectRequest); err != nil {
+		return err
+	}
+	_, err := io.WriteString(rw, connectOK)
+	return err
+}
+
+func expect(r io.Reader, want string) error {
+	buf := make([]byte, len(want))
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return err
+	}
+	if string(buf) != want {
+		return fmt.Errorf("wire: bad handshake %q", buf)
+	}
+	return nil
+}
+
+// ReadLoop decodes descriptors from r until error or EOF, invoking handle
+// for each. It returns nil on clean EOF.
+func ReadLoop(r io.Reader, handle func(*Message) error) error {
+	br := bufio.NewReader(r)
+	for {
+		m, err := Decode(br)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if err := handle(m); err != nil {
+			return err
+		}
+	}
+}
