@@ -4,23 +4,33 @@
 // the paper reports. See EXPERIMENTS.md for the recorded paper-vs-measured
 // comparison.
 //
+// With -json, the same results are additionally written as a versioned
+// machine-readable artifact (internal/report): per-section metric rows,
+// run metadata, and a snapshot of the obsv instrument registry. CI runs
+// `arqbench -quick -json out.json` and diffs the artifact against the
+// committed BENCH_baseline.json with cmd/arqcheck; see README.md.
+//
 // Usage:
 //
-//	arqbench [-trials N] [-seed S] [-markdown] [-section name] [-quick]
+//	arqbench [-trials N] [-seed S] [-markdown] [-section a,b,...] [-quick] [-json out.json]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
 
 	"arq/internal/adapt"
 	"arq/internal/content"
 	"arq/internal/core"
 	"arq/internal/db"
 	"arq/internal/metrics"
+	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/peer"
+	"arq/internal/report"
 	"arq/internal/routing"
 	"arq/internal/sim"
 	"arq/internal/stats"
@@ -32,9 +42,18 @@ var (
 	trials   = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
 	seed     = flag.Uint64("seed", 1, "master seed for all generators")
 	markdown = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section  = flag.String("section", "", "run only the named section (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, rewire)")
+	section  = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, rewire)")
 	quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	jsonOut  = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
 )
+
+// art collects every section's rows; written to disk only under -json.
+var art = &report.Artifact{Schema: report.SchemaVersion, Tool: "arqbench"}
+
+// rec appends one metric row to the artifact (non-finite values dropped).
+func rec(section, row string, m map[string]float64) {
+	art.Section(section).Add(row, m)
+}
 
 func main() {
 	flag.Parse()
@@ -43,8 +62,14 @@ func main() {
 			*trials = 60
 		}
 	}
+	selected := make(map[string]bool)
+	if *section != "" {
+		for _, s := range strings.Split(*section, ",") {
+			selected[strings.TrimSpace(s)] = true
+		}
+	}
 	run := func(name string, fn func()) {
-		if *section != "" && *section != name {
+		if len(selected) > 0 && !selected[name] {
 			return
 		}
 		fn()
@@ -62,6 +87,20 @@ func main() {
 	run("recovery", recovery)
 	run("network", network)
 	run("rewire", rewire)
+
+	if *jsonOut != "" {
+		art.GoVersion = runtime.Version()
+		art.GOMAXPROCS = runtime.GOMAXPROCS(0)
+		art.Seed = *seed
+		art.Trials = *trials
+		art.Quick = *quick
+		art.Registry = obsv.Default.Snapshot()
+		if err := art.Write(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, "arqbench:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "arqbench: wrote %s (%d sections)\n", *jsonOut, len(art.Sections))
+	}
 }
 
 func emit(t *metrics.Table) {
@@ -97,6 +136,13 @@ func policySummary() {
 		"policy", "avg coverage", "avg success", "regens", "blocks/regen")
 	for _, r := range sim.Sweep(specs, 0) {
 		t.AddRow(r.Name, r.MeanCoverage(), r.MeanSuccess(), r.Regens, fmt.Sprintf("%.2f", r.BlocksPerRegen()))
+		rec("policies", r.Name, map[string]float64{
+			"coverage":         r.MeanCoverage(),
+			"success":          r.MeanSuccess(),
+			"regens":           float64(r.Regens),
+			"blocks_per_regen": r.BlocksPerRegen(), // dropped for never-regenerating policies (+Inf)
+			"ns_per_block":     r.NsPerBlock(),
+		})
 	}
 	emit(t)
 }
@@ -108,6 +154,11 @@ func fig1() {
 	fmt.Println("Fig. 1 — Sliding Window over time (paper: coverage >0.80, success just under 0.79)")
 	fmt.Println(seriesLine("coverage", r.Coverage))
 	fmt.Println(seriesLine("success", r.Success))
+	rec("fig1", "sliding", map[string]float64{
+		"coverage":     r.MeanCoverage(),
+		"success":      r.MeanSuccess(),
+		"ns_per_block": r.NsPerBlock(),
+	})
 }
 
 // fig2 reproduces Figure 2: Sliding Window coverage across block sizes,
@@ -140,6 +191,11 @@ func fig2() {
 		"configuration", "trials", "avg coverage", "avg success")
 	for _, r := range sim.Sweep(specs, 0) {
 		t.AddRow(r.Name, r.Trials, r.MeanCoverage(), r.MeanSuccess())
+		rec("fig2", r.Name, map[string]float64{
+			"trials":   float64(r.Trials),
+			"coverage": r.MeanCoverage(),
+			"success":  r.MeanSuccess(),
+		})
 	}
 	emit(t)
 }
@@ -151,6 +207,10 @@ func fig3() {
 	fmt.Println("Fig. 3 — Lazy Sliding Window over time, rule set reused 10 blocks (paper: avg 0.59/0.59)")
 	fmt.Println(seriesLine("coverage", r.Coverage))
 	fmt.Println(seriesLine("success", r.Success))
+	rec("fig3", "lazy", map[string]float64{
+		"coverage": r.MeanCoverage(),
+		"success":  r.MeanSuccess(),
+	})
 }
 
 // fig4 reproduces Figure 4: Adaptive Sliding Window with thresholds from
@@ -163,6 +223,11 @@ func fig4() {
 			&core.Adaptive{Prune: 10, Window: w, Init: 0.7}, source(), 0)
 		t.AddRow(fmt.Sprintf("previous %d values", w), r.MeanCoverage(), r.MeanSuccess(),
 			fmt.Sprintf("%.2f", r.BlocksPerRegen()))
+		rec("fig4", fmt.Sprintf("window=%d", w), map[string]float64{
+			"coverage":         r.MeanCoverage(),
+			"success":          r.MeanSuccess(),
+			"blocks_per_regen": r.BlocksPerRegen(),
+		})
 		if w == 10 {
 			fmt.Println(seriesLine("coverage (N=10)", r.Coverage))
 			fmt.Println(seriesLine("success  (N=10)", r.Success))
@@ -193,6 +258,11 @@ func staticDetail() {
 		r.Coverage.Tail(n/4), r.MeanCoverage())
 	t.AddRow("success", avg(r.Success.Values, 0, 5), avg(r.Success.Values, 11, 20),
 		r.Success.Tail(n/4), r.MeanSuccess())
+	rec("static", "static", map[string]float64{
+		"coverage":     r.MeanCoverage(),
+		"success":      r.MeanSuccess(),
+		"late_success": r.Success.Tail(n / 4),
+	})
 	emit(t)
 }
 
@@ -222,6 +292,15 @@ func importPipeline() {
 	t.AddRow("raw replies", s.RawReplies, rat(s.RawReplies))
 	t.AddRow("replies without query", s.UnmatchedReplies, rat(s.UnmatchedReplies))
 	t.AddRow("query-reply pairs", s.Pairs, rat(s.Pairs))
+	rec("import", "pipeline", map[string]float64{
+		"raw_queries":       float64(s.RawQueries),
+		"duplicate_guids":   float64(s.DuplicateGUIDs),
+		"kept_queries":      float64(s.KeptQueries),
+		"raw_replies":       float64(s.RawReplies),
+		"unmatched_replies": float64(s.UnmatchedReplies),
+		"pairs":             float64(s.Pairs),
+		"pairs_ratio":       float64(s.Pairs) / float64(s.RawQueries),
+	})
 	emit(t)
 }
 
@@ -288,6 +367,13 @@ func grid22() {
 		"configuration", "trials", "avg coverage", "avg success", "regens")
 	for _, r := range sim.Sweep(specs, 0) {
 		t.AddRow(r.Name, r.Trials, r.MeanCoverage(), r.MeanSuccess(), r.Regens)
+		rec("grid", r.Name, map[string]float64{
+			"trials":       float64(r.Trials),
+			"coverage":     r.MeanCoverage(),
+			"success":      r.MeanSuccess(),
+			"regens":       float64(r.Regens),
+			"ns_per_block": r.NsPerBlock(),
+		})
 	}
 	emit(t)
 }
@@ -306,6 +392,11 @@ func incremental() {
 		}
 	}
 	fmt.Printf("blocks with both measures > 0.90: %d/%d\n", above, r.Trials)
+	rec("incremental", "incremental", map[string]float64{
+		"coverage":     r.MeanCoverage(),
+		"success":      r.MeanSuccess(),
+		"above90_frac": float64(above) / float64(r.Trials),
+	})
 }
 
 // recovery measures how each policy responds to a regime shock (80%% of
@@ -339,15 +430,28 @@ func recovery() {
 		si := shockAt - 1
 		pre := stats.Mean(r.Success.Values[si-10 : si])
 		at := r.Success.Values[si]
-		rec := "never"
+		recovered := -1
 		for i := si + 1; i < len(r.Success.Values); i++ {
 			if r.Success.Values[i] >= 0.9*pre {
-				rec = fmt.Sprintf("%d", i-si)
+				recovered = i - si
 				break
 			}
 		}
+		recLabel := "never"
+		if recovered > 0 {
+			recLabel = fmt.Sprintf("%d", recovered)
+		}
 		post := stats.Mean(r.Success.Values[si+1:])
-		t.AddRow(r.Name, pre, at, rec, post)
+		t.AddRow(r.Name, pre, at, recLabel, post)
+		m := map[string]float64{
+			"pre_shock_success": pre,
+			"at_shock_success":  at,
+			"post_success":      post,
+		}
+		if recovered > 0 {
+			m["recovery_blocks"] = float64(recovered)
+		}
+		rec("recovery", r.Name, m)
 	}
 	emit(t)
 }
@@ -410,6 +514,13 @@ func network() {
 		t.AddRow(e.name, agg.SuccessRate, fmt.Sprintf("%.0f", agg.AvgMessages),
 			fmt.Sprintf("%.0f", agg.AvgDuplicates), fmt.Sprintf("%.2f", agg.AvgHitHops),
 			fmt.Sprintf("%.0f", agg.AvgReached))
+		rec("network", e.name, map[string]float64{
+			"success_rate":   agg.SuccessRate,
+			"msgs_per_query": agg.AvgMessages,
+			"dup_per_query":  agg.AvgDuplicates,
+			"hit_hops":       agg.AvgHitHops,
+			"nodes_reached":  agg.AvgReached,
+		})
 	}
 	emit(t)
 }
@@ -448,5 +559,16 @@ func rewire() {
 		"phase", "success", "msgs/query", "hit hops")
 	t.AddRow("before rewiring", before.SuccessRate, fmt.Sprintf("%.0f", before.AvgMessages), fmt.Sprintf("%.2f", before.AvgHitHops))
 	t.AddRow("after rewiring", after.SuccessRate, fmt.Sprintf("%.0f", after.AvgMessages), fmt.Sprintf("%.2f", after.AvgHitHops))
+	rec("rewire", "before", map[string]float64{
+		"success_rate":   before.SuccessRate,
+		"msgs_per_query": before.AvgMessages,
+		"hit_hops":       before.AvgHitHops,
+	})
+	rec("rewire", "after", map[string]float64{
+		"success_rate":   after.SuccessRate,
+		"msgs_per_query": after.AvgMessages,
+		"hit_hops":       after.AvgHitHops,
+		"edges_added":    float64(len(added)),
+	})
 	emit(t)
 }

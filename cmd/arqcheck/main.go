@@ -1,0 +1,79 @@
+// Command arqcheck compares two machine-readable benchmark artifacts
+// (written by `arqbench -json`) and fails when the candidate regresses
+// against the baseline: rule-set quality (coverage α / success ρ) drifting
+// beyond an absolute tolerance, counts moving beyond a relative tolerance,
+// or throughput metrics slowing down beyond a generous ratio. CI runs it
+// on every PR against the committed BENCH_baseline.json.
+//
+// Usage:
+//
+//	arqcheck [flags] BASELINE.json CANDIDATE.json
+//
+// Exit codes:
+//
+//	0 — candidate is within tolerance of the baseline
+//	1 — at least one metric regressed (each violation printed to stderr)
+//	2 — usage or I/O error (unreadable file, schema mismatch)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"arq/internal/report"
+)
+
+func main() {
+	def := report.DefaultTolerance()
+	qualityTol := flag.Float64("quality-tol", def.Quality,
+		"max absolute drift for coverage/success/success_rate")
+	countRel := flag.Float64("count-rel", def.CountRel,
+		"max relative drift for count metrics")
+	countAbs := flag.Float64("count-abs", def.CountAbs,
+		"absolute slack below which count drift is ignored")
+	perfRatio := flag.Float64("perf-ratio", def.PerfRatio,
+		"fail when a *_ns metric exceeds baseline times this ratio (0 disables)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(),
+			"usage: arqcheck [flags] BASELINE.json CANDIDATE.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	baseline, err := report.Load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arqcheck: baseline:", err)
+		os.Exit(2)
+	}
+	candidate, err := report.Load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arqcheck: candidate:", err)
+		os.Exit(2)
+	}
+
+	tol := report.Tolerance{
+		Quality:   *qualityTol,
+		CountRel:  *countRel,
+		CountAbs:  *countAbs,
+		PerfRatio: *perfRatio,
+	}
+	violations := report.Compare(baseline, candidate, tol)
+	if len(violations) > 0 {
+		fmt.Fprintf(os.Stderr, "arqcheck: %d violation(s) against %s:\n", len(violations), flag.Arg(0))
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "  -", v)
+		}
+		os.Exit(1)
+	}
+	nRows := 0
+	for _, s := range baseline.Sections {
+		nRows += len(s.Rows)
+	}
+	fmt.Printf("arqcheck: OK — %d sections, %d rows within tolerance (quality ±%.3g, counts ±%.0f%%, perf %.3gx)\n",
+		len(baseline.Sections), nRows, tol.Quality, tol.CountRel*100, tol.PerfRatio)
+}

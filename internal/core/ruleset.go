@@ -16,8 +16,22 @@ package core
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"arq/internal/obsv"
 	"arq/internal/trace"
+)
+
+// Observability instruments: rule-set regeneration is the system's
+// dominant recurring cost (the paper reports "no more than a few seconds"
+// per generation), so count, duration, and resulting table size are
+// tracked for every build, and block tests likewise.
+var (
+	mRegens     = obsv.GetCounter("core.ruleset.regens")
+	mRegenNs    = obsv.GetHistogram("core.ruleset.regen_ns", obsv.DurationBuckets())
+	mRegenRules = obsv.GetHistogram("core.ruleset.rules", obsv.SizeBuckets())
+	mTests      = obsv.GetCounter("core.ruleset.tests")
+	mTestNs     = obsv.GetHistogram("core.ruleset.test_ns", obsv.DurationBuckets())
 )
 
 // Rule is one routing rule {Antecedent} -> {Consequent}: forwarding a query
@@ -46,6 +60,7 @@ type RuleSet struct {
 // (support pruning, §III-B.1). The paper's experimental default threshold
 // is 10. A threshold below 1 is treated as 1.
 func GenerateRuleSet(block trace.Block, pruneThreshold int) *RuleSet {
+	start := time.Now()
 	if pruneThreshold < 1 {
 		pruneThreshold = 1
 	}
@@ -73,6 +88,9 @@ func GenerateRuleSet(block trace.Block, pruneThreshold int) *RuleSet {
 			rs.count++
 		}
 	}
+	mRegens.Inc()
+	mRegenNs.Observe(time.Since(start).Nanoseconds())
+	mRegenRules.Observe(int64(rs.count))
 	return rs
 }
 
@@ -190,6 +208,7 @@ func (t TestResult) Success() float64 {
 // replies counts once, and is successful if any of its replies matches a
 // rule for its source.
 func (rs *RuleSet) Test(block trace.Block) TestResult {
+	start := time.Now()
 	type state struct {
 		covered, successful bool
 	}
@@ -210,5 +229,7 @@ func (rs *RuleSet) Test(block trace.Block) TestResult {
 			res.Successful++
 		}
 	}
+	mTests.Inc()
+	mTestNs.Observe(time.Since(start).Nanoseconds())
 	return res
 }

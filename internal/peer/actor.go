@@ -256,5 +256,6 @@ func (a *ActorNet) RunQuery(origin int, category trace.InterestID, ttl int) Stat
 		st.Found = true
 		st.FirstHitHops = int(fh - 1)
 	}
+	record(&st)
 	return st
 }

@@ -18,10 +18,35 @@ package peer
 
 import (
 	"arq/internal/content"
+	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/stats"
 	"arq/internal/trace"
 )
+
+// Observability instruments shared by both engines (sequential Engine and
+// concurrent ActorNet). Counts are recorded once per completed query from
+// its final Stats — the per-delivery hot loops stay untouched.
+var (
+	mQueries    = obsv.GetCounter("peer.queries")
+	mFound      = obsv.GetCounter("peer.queries_found")
+	mQueryMsgs  = obsv.GetCounter("peer.query_msgs")
+	mHitMsgs    = obsv.GetCounter("peer.hit_msgs")
+	mDuplicates = obsv.GetCounter("peer.duplicates")
+	mReached    = obsv.GetHistogram("peer.nodes_reached", obsv.SizeBuckets())
+)
+
+// record folds one completed query's stats into the shared instruments.
+func record(st *Stats) {
+	mQueries.Inc()
+	if st.Found {
+		mFound.Inc()
+	}
+	mQueryMsgs.Add(int64(st.QueryMessages))
+	mHitMsgs.Add(int64(st.HitMessages))
+	mDuplicates.Add(int64(st.Duplicates))
+	mReached.Observe(int64(st.NodesReached))
+}
 
 // QueryID identifies a query (the GUID of the Gnutella protocol).
 type QueryID uint64
@@ -179,6 +204,7 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 			queue = append(queue, delivery{to: int(v), from: u, ttl: d.ttl - 1, hops: d.hops + 1})
 		}
 	}
+	record(&st)
 	return st
 }
 

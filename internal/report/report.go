@@ -1,0 +1,234 @@
+// Package report defines the machine-readable benchmark artifact the
+// repository tracks across PRs: cmd/arqbench -json writes one, a baseline
+// is committed as BENCH_baseline.json, and cmd/arqcheck (run by CI on
+// every PR) compares a fresh artifact against the baseline and fails when
+// rule-set quality drifts or throughput regresses beyond tolerance.
+//
+// An Artifact is a versioned tree: run metadata (seed, trials, Go
+// version, GOMAXPROCS), named sections of named rows of scalar metrics
+// (mirroring the tables arqbench prints), and a snapshot of the obsv
+// instrument registry. Metric keys follow a naming convention the
+// comparator keys off:
+//
+//   - "coverage", "success", "success_rate" — quality measures, compared
+//     by absolute difference (the paper's α and ρ are in [0,1]);
+//   - keys with an "_ns" suffix or "ns_" prefix — wall-clock throughput,
+//     where only a slowdown beyond a generous ratio fails (timings vary
+//     across machines; determinism only holds for the quality measures);
+//   - everything else — counts, compared by relative difference with a
+//     small absolute slack.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strings"
+
+	"arq/internal/obsv"
+)
+
+// SchemaVersion identifies the artifact layout; bump on incompatible
+// changes so arqcheck can refuse cross-version comparisons.
+const SchemaVersion = 1
+
+// Artifact is one benchmark run's machine-readable output.
+type Artifact struct {
+	Schema     int           `json:"schema"`
+	Tool       string        `json:"tool"`
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Seed       uint64        `json:"seed"`
+	Trials     int           `json:"trials"`
+	Quick      bool          `json:"quick"`
+	Sections   []*Section    `json:"sections"`
+	Registry   obsv.Snapshot `json:"registry"`
+}
+
+// Section groups the rows of one experiment (one arqbench section).
+type Section struct {
+	Name string `json:"name"`
+	Rows []Row  `json:"rows"`
+}
+
+// Row is one measured configuration within a section.
+type Row struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Section returns the named section, appending a new one if absent.
+func (a *Artifact) Section(name string) *Section {
+	for _, s := range a.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	s := &Section{Name: name}
+	a.Sections = append(a.Sections, s)
+	return s
+}
+
+// Find returns the named section or nil.
+func (a *Artifact) Find(name string) *Section {
+	for _, s := range a.Sections {
+		if s.Name == name {
+			return s
+		}
+	}
+	return nil
+}
+
+// Add appends a row, dropping non-finite metric values (encoding/json
+// rejects NaN/Inf; +Inf blocks-per-regen for never-regenerating policies
+// is information the regens count already carries).
+func (s *Section) Add(name string, metrics map[string]float64) {
+	m := make(map[string]float64, len(metrics))
+	for k, v := range metrics {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		m[k] = v
+	}
+	s.Rows = append(s.Rows, Row{Name: name, Metrics: m})
+}
+
+// Find returns the named row or nil.
+func (s *Section) Find(name string) *Row {
+	for i := range s.Rows {
+		if s.Rows[i].Name == name {
+			return &s.Rows[i]
+		}
+	}
+	return nil
+}
+
+// Write marshals the artifact as indented JSON to path.
+func (a *Artifact) Write(path string) error {
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return fmt.Errorf("report: marshal: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Load reads and validates an artifact from path.
+func Load(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("report: parse %s: %w", path, err)
+	}
+	if a.Schema != SchemaVersion {
+		return nil, fmt.Errorf("report: %s has schema %d, this tool understands %d",
+			path, a.Schema, SchemaVersion)
+	}
+	return &a, nil
+}
+
+// Tolerance bounds the acceptable drift between two artifacts.
+type Tolerance struct {
+	// Quality is the maximum absolute difference for quality metrics
+	// (coverage, success, success_rate).
+	Quality float64
+	// CountRel is the maximum relative difference for count metrics, and
+	// CountAbs an absolute slack below which count differences are ignored
+	// (regens moving 2 -> 3 on a 60-trial quick run is noise).
+	CountRel float64
+	CountAbs float64
+	// PerfRatio fails the comparison when a throughput metric exceeds
+	// baseline * PerfRatio (slowdowns only; speedups always pass).
+	// 0 disables throughput checking.
+	PerfRatio float64
+}
+
+// DefaultTolerance is tuned to be non-flaky in CI: quality is
+// deterministic given a seed, so 0.05 absolute catches any real change
+// while allowing intentional small recalibrations to pass review by
+// refreshing the baseline; timings get a generous 10x.
+func DefaultTolerance() Tolerance {
+	return Tolerance{Quality: 0.05, CountRel: 0.30, CountAbs: 3, PerfRatio: 10}
+}
+
+func isQualityKey(k string) bool {
+	switch k {
+	case "coverage", "success", "success_rate":
+		return true
+	}
+	return false
+}
+
+func isPerfKey(k string) bool {
+	return strings.HasSuffix(k, "_ns") || strings.HasPrefix(k, "ns_")
+}
+
+// Compare checks candidate against baseline and returns a human-readable
+// violation per out-of-tolerance metric or missing section/row/metric.
+// Sections or rows present only in the candidate are ignored (new
+// experiments are additions, not regressions); anything present in the
+// baseline must exist in the candidate.
+func Compare(baseline, candidate *Artifact, tol Tolerance) []string {
+	var violations []string
+	for _, bs := range baseline.Sections {
+		cs := candidate.Find(bs.Name)
+		if cs == nil {
+			violations = append(violations,
+				fmt.Sprintf("section %q: present in baseline, missing from candidate", bs.Name))
+			continue
+		}
+		for _, br := range bs.Rows {
+			cr := cs.Find(br.Name)
+			if cr == nil {
+				violations = append(violations,
+					fmt.Sprintf("%s/%s: row present in baseline, missing from candidate", bs.Name, br.Name))
+				continue
+			}
+			keys := make([]string, 0, len(br.Metrics))
+			for k := range br.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				bv := br.Metrics[k]
+				cv, ok := cr.Metrics[k]
+				where := fmt.Sprintf("%s/%s/%s", bs.Name, br.Name, k)
+				if !ok {
+					if isPerfKey(k) {
+						continue // a run may legitimately omit timings
+					}
+					violations = append(violations,
+						fmt.Sprintf("%s: metric present in baseline, missing from candidate", where))
+					continue
+				}
+				switch {
+				case isQualityKey(k):
+					if d := math.Abs(cv - bv); d > tol.Quality {
+						violations = append(violations,
+							fmt.Sprintf("%s: %.4f -> %.4f (|Δ|=%.4f > %.4f)", where, bv, cv, d, tol.Quality))
+					}
+				case isPerfKey(k):
+					if tol.PerfRatio > 0 && bv > 0 && cv > bv*tol.PerfRatio {
+						violations = append(violations,
+							fmt.Sprintf("%s: %.0f -> %.0f (slowdown %.1fx > %.1fx)", where, bv, cv, cv/bv, tol.PerfRatio))
+					}
+				default:
+					d := math.Abs(cv - bv)
+					if d <= tol.CountAbs {
+						continue
+					}
+					base := math.Abs(bv)
+					if base == 0 || d/base > tol.CountRel {
+						violations = append(violations,
+							fmt.Sprintf("%s: %.3f -> %.3f (rel Δ > %.0f%%)", where, bv, cv, tol.CountRel*100))
+					}
+				}
+			}
+		}
+	}
+	return violations
+}

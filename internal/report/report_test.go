@@ -1,0 +1,153 @@
+package report
+
+import (
+	"math"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func testArtifact() *Artifact {
+	a := &Artifact{
+		Schema:     SchemaVersion,
+		Tool:       "test",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       1,
+		Trials:     60,
+	}
+	s := a.Section("policies")
+	s.Add("sliding", map[string]float64{
+		"coverage": 0.84, "success": 0.80, "regens": 59, "ns_per_block": 2.1e6,
+	})
+	s.Add("static", map[string]float64{
+		"coverage": 0.20, "success": 0.02, "regens": 0,
+	})
+	return a
+}
+
+func TestRoundTrip(t *testing.T) {
+	a := testArtifact()
+	path := filepath.Join(t.TempDir(), "a.json")
+	if err := a.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seed != 1 || b.Trials != 60 || len(b.Sections) != 1 {
+		t.Fatalf("round trip lost data: %+v", b)
+	}
+	row := b.Find("policies").Find("sliding")
+	if row == nil || row.Metrics["coverage"] != 0.84 {
+		t.Fatalf("row lost: %+v", row)
+	}
+}
+
+func TestLoadRejectsWrongSchema(t *testing.T) {
+	a := testArtifact()
+	a.Schema = SchemaVersion + 1
+	path := filepath.Join(t.TempDir(), "a.json")
+	if err := a.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+}
+
+func TestAddDropsNonFinite(t *testing.T) {
+	a := &Artifact{Schema: SchemaVersion}
+	s := a.Section("x")
+	s.Add("r", map[string]float64{
+		"coverage": 0.5, "blocks_per_regen": math.Inf(1), "bad": math.NaN(),
+	})
+	row := s.Find("r")
+	if len(row.Metrics) != 1 || row.Metrics["coverage"] != 0.5 {
+		t.Fatalf("non-finite not dropped: %+v", row.Metrics)
+	}
+	path := filepath.Join(t.TempDir(), "a.json")
+	if err := a.Write(path); err != nil {
+		t.Fatalf("artifact with dropped non-finite values should marshal: %v", err)
+	}
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	if v := Compare(testArtifact(), testArtifact(), DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("identical artifacts flagged: %v", v)
+	}
+}
+
+func TestCompareQualityDrift(t *testing.T) {
+	base, cand := testArtifact(), testArtifact()
+	cand.Find("policies").Find("sliding").Metrics["coverage"] = 0.70 // Δ=0.14
+	v := Compare(base, cand, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], "policies/sliding/coverage") {
+		t.Fatalf("violations = %v", v)
+	}
+	// Drift within tolerance passes.
+	cand.Find("policies").Find("sliding").Metrics["coverage"] = 0.81
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("in-tolerance drift flagged: %v", v)
+	}
+}
+
+func TestComparePerfOnlyFailsOnSlowdown(t *testing.T) {
+	base, cand := testArtifact(), testArtifact()
+	cand.Find("policies").Find("sliding").Metrics["ns_per_block"] = 2.1e6 / 50 // big speedup
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("speedup flagged: %v", v)
+	}
+	cand.Find("policies").Find("sliding").Metrics["ns_per_block"] = 2.1e6 * 50
+	v := Compare(base, cand, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], "slowdown") {
+		t.Fatalf("violations = %v", v)
+	}
+	// Disabling the ratio disables the check.
+	tol := DefaultTolerance()
+	tol.PerfRatio = 0
+	if v := Compare(base, cand, tol); len(v) != 0 {
+		t.Fatalf("disabled perf check still flagged: %v", v)
+	}
+}
+
+func TestCompareCounts(t *testing.T) {
+	base, cand := testArtifact(), testArtifact()
+	cand.Find("policies").Find("sliding").Metrics["regens"] = 61 // |Δ|=2 <= abs slack
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("within abs slack flagged: %v", v)
+	}
+	cand.Find("policies").Find("sliding").Metrics["regens"] = 120
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 1 {
+		t.Fatalf("count blowup not flagged: %v", v)
+	}
+}
+
+func TestCompareMissingPieces(t *testing.T) {
+	base, cand := testArtifact(), testArtifact()
+	// Candidate-only additions are fine.
+	cand.Section("new-experiment").Add("r", map[string]float64{"coverage": 1})
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("candidate additions flagged: %v", v)
+	}
+	// Baseline content missing from candidate is not.
+	cand.Sections = cand.Sections[:0]
+	v := Compare(base, cand, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("violations = %v", v)
+	}
+
+	cand = testArtifact()
+	delete(cand.Find("policies").Find("static").Metrics, "coverage")
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 1 {
+		t.Fatalf("missing metric not flagged: %v", v)
+	}
+	// A missing perf metric is tolerated (timings may be omitted).
+	cand = testArtifact()
+	delete(cand.Find("policies").Find("sliding").Metrics, "ns_per_block")
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("missing perf metric flagged: %v", v)
+	}
+}

@@ -10,10 +10,24 @@ package routing
 import (
 	"sort"
 
+	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/peer"
 	"arq/internal/stats"
 	"arq/internal/trace"
+)
+
+// Observability instruments for the association-rule router, aggregated
+// across all node instances: how often queries ride rules vs fall back to
+// flooding (the paper's traffic-reduction mechanism vs its safety net),
+// strict-mode drops, and the hit feedback that trains the rules. Shared
+// atomics; routers on distinct nodes record concurrently under ActorNet.
+var (
+	mAssocRuleRouted = obsv.GetCounter("routing.assoc.rule_routed")
+	mAssocFallbacks  = obsv.GetCounter("routing.assoc.fallback_flood")
+	mAssocDrops      = obsv.GetCounter("routing.assoc.strict_drops")
+	mAssocFloodPhase = obsv.GetCounter("routing.assoc.flood_phase")
+	mAssocHits       = obsv.GetCounter("routing.assoc.hits_observed")
 )
 
 // Flood forwards every query to all neighbors except the one it arrived
@@ -152,6 +166,7 @@ func (a *Assoc) Walk() bool { return false }
 func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 	if q.FloodPhase {
 		// Origin-level fallback reissue: behave as a flooder.
+		mAssocFloodPhase.Inc()
 		return Flood{}.Route(u, from, q, nbrs)
 	}
 	rules := a.counts[from]
@@ -172,11 +187,14 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 		if a.cfg.Strict {
 			// Uncovered under strict deployment: drop; the origin will
 			// revert the query to flooding if nothing is found.
+			mAssocDrops.Inc()
 			return nil
 		}
 		// Uncovered: locally revert to flooding.
+		mAssocFallbacks.Inc()
 		return Flood{}.Route(u, from, q, nbrs)
 	}
+	mAssocRuleRouted.Inc()
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].sup != cands[j].sup {
 			return cands[i].sup > cands[j].sup
@@ -197,6 +215,7 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 // ObserveHit implements peer.Router: support for {from} -> {via} grows by
 // one per returned hit, with periodic exponential decay.
 func (a *Assoc) ObserveHit(u, from int, _ peer.Meta, via int) {
+	mAssocHits.Inc()
 	if via == u {
 		// The hit matched at this node itself; there is no next-hop
 		// consequent to learn.

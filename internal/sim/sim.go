@@ -7,12 +7,30 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"runtime"
 	"sync"
+	"time"
 
 	"arq/internal/core"
+	"arq/internal/obsv"
 	"arq/internal/stats"
 	"arq/internal/trace"
+)
+
+// Observability instruments (registered once; recording is atomic adds on
+// the run boundary, never inside the per-block loop).
+var (
+	mRuns      = obsv.GetCounter("sim.runs")
+	mBlocks    = obsv.GetCounter("sim.blocks")
+	mTrials    = obsv.GetCounter("sim.trials")
+	mRunNs     = obsv.GetHistogram("sim.run_ns", obsv.DurationBuckets())
+	mSweeps    = obsv.GetCounter("sim.sweep.sweeps")
+	mSpecs     = obsv.GetCounter("sim.sweep.specs")
+	mBusyNs    = obsv.GetCounter("sim.sweep.busy_ns")
+	mWallNs    = obsv.GetCounter("sim.sweep.wall_ns")
+	mWorkers   = obsv.GetGauge("sim.sweep.workers")
+	mUtilizPct = obsv.GetGauge("sim.sweep.utilization_pct")
 )
 
 // Result summarizes one simulation run.
@@ -29,6 +47,13 @@ type Result struct {
 	Regens int
 	// RuleCount summarizes rule-set sizes across tested blocks.
 	RuleCount stats.Summary
+	// Blocks is the total number of blocks consumed, including warm-up
+	// blocks that were not tested.
+	Blocks int
+	// WallNanos is the wall-clock duration of the run (policy stepping
+	// plus source generation), for throughput tracking; it carries no
+	// simulation semantics and is excluded from determinism comparisons.
+	WallNanos int64
 }
 
 // MeanCoverage returns the run-average coverage (the paper's headline
@@ -40,12 +65,21 @@ func (r *Result) MeanSuccess() float64 { return r.Success.Mean() }
 
 // BlocksPerRegen returns how many tested blocks elapse per rule-set
 // generation (Sliding = 1.0 by construction; the paper reports 1.7–1.9 for
-// Adaptive). Policies that never regenerate report +Inf as 0 regens.
+// Adaptive). Policies that never regenerate report +Inf.
 func (r *Result) BlocksPerRegen() float64 {
 	if r.Regens == 0 {
-		return 0
+		return math.Inf(1)
 	}
 	return float64(r.Trials) / float64(r.Regens)
+}
+
+// NsPerBlock returns wall nanoseconds per consumed block (0 if the run
+// consumed none).
+func (r *Result) NsPerBlock() float64 {
+	if r.Blocks == 0 {
+		return 0
+	}
+	return float64(r.WallNanos) / float64(r.Blocks)
 }
 
 // String renders the headline numbers.
@@ -57,6 +91,7 @@ func (r *Result) String() string {
 // Run drives policy over src until the source is exhausted or maxTrials
 // tested blocks have been recorded (maxTrials <= 0 means no limit).
 func Run(name string, policy core.Policy, src trace.Source, maxTrials int) *Result {
+	start := time.Now()
 	res := &Result{
 		Name:     name,
 		Coverage: stats.NewSeries(name + "/coverage"),
@@ -70,6 +105,7 @@ func Run(name string, policy core.Policy, src trace.Source, maxTrials int) *Resu
 		if !ok {
 			break
 		}
+		res.Blocks++
 		step := policy.Step(block)
 		if !step.Tested {
 			continue
@@ -82,6 +118,11 @@ func Run(name string, policy core.Policy, src trace.Source, maxTrials int) *Resu
 			res.Regens++
 		}
 	}
+	res.WallNanos = time.Since(start).Nanoseconds()
+	mRuns.Inc()
+	mBlocks.Add(int64(res.Blocks))
+	mTrials.Add(int64(res.Trials))
+	mRunNs.Observe(res.WallNanos)
 	return res
 }
 
@@ -106,16 +147,20 @@ func Sweep(specs []Spec, workers int) []*Result {
 	if workers > len(specs) {
 		workers = len(specs)
 	}
+	start := time.Now()
 	results := make([]*Result, len(specs))
+	busy := make([]int64, workers) // per-worker busy ns, written only by its goroutine
 	var wg sync.WaitGroup
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
+		w := w
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range next {
 				s := specs[i]
 				results[i] = Run(s.Name, s.Policy(), s.Source(), s.MaxTrials)
+				busy[w] += results[i].WallNanos
 			}
 		}()
 	}
@@ -124,5 +169,19 @@ func Sweep(specs []Spec, workers int) []*Result {
 	}
 	close(next)
 	wg.Wait()
+
+	wall := time.Since(start).Nanoseconds()
+	var busyTotal int64
+	for _, b := range busy {
+		busyTotal += b
+	}
+	mSweeps.Inc()
+	mSpecs.Add(int64(len(specs)))
+	mBusyNs.Add(busyTotal)
+	mWallNs.Add(wall)
+	mWorkers.Set(int64(workers))
+	if wall > 0 && workers > 0 {
+		mUtilizPct.Set(100 * busyTotal / (wall * int64(workers)))
+	}
 	return results
 }

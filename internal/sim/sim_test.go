@@ -2,10 +2,12 @@ package sim
 
 import (
 	"fmt"
+	"math"
 	"testing"
 
 	"arq/internal/core"
 	"arq/internal/trace"
+	"arq/internal/tracegen"
 )
 
 // fixedSource serves the same stable block n times.
@@ -67,8 +69,24 @@ func TestRunZeroRegenPolicy(t *testing.T) {
 	if r.Regens != 0 {
 		t.Fatalf("static regens = %d", r.Regens)
 	}
-	if r.BlocksPerRegen() != 0 {
-		t.Fatalf("blocks/regen for zero regens = %v", r.BlocksPerRegen())
+	if !math.IsInf(r.BlocksPerRegen(), 1) {
+		t.Fatalf("blocks/regen for zero regens = %v, want +Inf", r.BlocksPerRegen())
+	}
+}
+
+func TestRunRecordsBlocksAndWallTime(t *testing.T) {
+	r := Run("sliding", &core.Sliding{Prune: 5}, newFixedSource(6), 0)
+	if r.Blocks != 6 { // 1 warm-up + 5 tested
+		t.Fatalf("blocks = %d, want 6", r.Blocks)
+	}
+	if r.WallNanos <= 0 {
+		t.Fatalf("wall nanos = %d", r.WallNanos)
+	}
+	if r.NsPerBlock() != float64(r.WallNanos)/6 {
+		t.Fatalf("ns/block = %v", r.NsPerBlock())
+	}
+	if (&Result{}).NsPerBlock() != 0 {
+		t.Fatal("empty run should report 0 ns/block")
 	}
 }
 
@@ -113,6 +131,61 @@ func TestSweepDefaultWorkers(t *testing.T) {
 	rs := Sweep(specs, 0)
 	if len(rs) != 1 || rs[0].Trials != 1 {
 		t.Fatalf("unexpected sweep result: %+v", rs)
+	}
+}
+
+// TestSweepDeterministicAcrossWorkerCounts guards the parallel sweep path:
+// the same specs (tracegen-backed, distinct seeds and policies) must yield
+// bit-identical Result series whether run on 1 worker or 8. Run under
+// -race this also checks the fan-out for data races.
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	mkSpecs := func() []Spec {
+		mkSource := func(seed uint64) func() trace.Source {
+			return func() trace.Source {
+				cfg := tracegen.PaperProfile()
+				cfg.Seed = seed
+				cfg.BlockSize = 600
+				cfg.TotalBlocks = 9
+				return tracegen.New(cfg)
+			}
+		}
+		var specs []Spec
+		policies := []func() core.Policy{
+			func() core.Policy { return &core.Sliding{Prune: 3} },
+			func() core.Policy { return &core.Static{Prune: 3} },
+			func() core.Policy { return &core.Lazy{Prune: 3, Interval: 3} },
+			func() core.Policy { return &core.Adaptive{Prune: 3, Window: 5, Init: 0.7} },
+			func() core.Policy { return &core.Incremental{} },
+		}
+		for i := 0; i < 10; i++ {
+			specs = append(specs, Spec{
+				Name:   fmt.Sprintf("spec-%d", i),
+				Policy: policies[i%len(policies)],
+				Source: mkSource(uint64(i + 1)),
+			})
+		}
+		return specs
+	}
+	serial := Sweep(mkSpecs(), 1)
+	parallel := Sweep(mkSpecs(), 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("result counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		s, p := serial[i], parallel[i]
+		if s.Name != p.Name || s.Trials != p.Trials || s.Regens != p.Regens || s.Blocks != p.Blocks {
+			t.Fatalf("spec %d headline mismatch: %+v vs %+v", i, s, p)
+		}
+		if len(s.Coverage.Values) != len(p.Coverage.Values) {
+			t.Fatalf("spec %d series length mismatch", i)
+		}
+		for j := range s.Coverage.Values {
+			if s.Coverage.Values[j] != p.Coverage.Values[j] || s.Success.Values[j] != p.Success.Values[j] {
+				t.Fatalf("spec %d diverges at block %d: cov %v vs %v, suc %v vs %v",
+					i, j, s.Coverage.Values[j], p.Coverage.Values[j],
+					s.Success.Values[j], p.Success.Values[j])
+			}
+		}
 	}
 }
 

@@ -32,9 +32,21 @@ package tracegen
 
 import (
 	"fmt"
+	"time"
 
+	"arq/internal/obsv"
 	"arq/internal/stats"
 	"arq/internal/trace"
+)
+
+// Observability instruments: generation throughput is recorded at block
+// granularity (one timing per Next call, never per pair) so the per-pair
+// path stays untouched.
+var (
+	mBlocks     = obsv.GetCounter("tracegen.blocks")
+	mPairs      = obsv.GetCounter("tracegen.pairs")
+	mBlockNs    = obsv.GetHistogram("tracegen.block_ns", obsv.DurationBuckets())
+	mRawQueries = obsv.GetCounter("tracegen.raw_queries")
 )
 
 // Config parameterizes the synthetic vantage trace.
@@ -427,11 +439,15 @@ func (g *Generator) Next() (trace.Block, bool) {
 		}
 		g.Shock(frac)
 	}
+	start := time.Now()
 	block := make(trace.Block, g.cfg.BlockSize)
 	for i := range block {
 		block[i] = g.NextPair()
 	}
 	g.blocksOut++
+	mBlocks.Inc()
+	mPairs.Add(int64(len(block)))
+	mBlockNs.Observe(time.Since(start).Nanoseconds())
 	return block, true
 }
 
@@ -447,6 +463,7 @@ func (g *Generator) GenerateRaw(nQueries int) ([]trace.Query, []trace.Reply) {
 	queries := make([]trace.Query, 0, nQueries)
 	expReplies := int(float64(nQueries)*g.cfg.AnswerProb) + 1
 	replies := make([]trace.Reply, 0, expReplies)
+	mRawQueries.Add(int64(nQueries))
 	for i := 0; i < nQueries; i++ {
 		_, q := g.emitQuery()
 		if len(queries) > 0 && g.rng.Bool(g.cfg.DuplicateGUIDFrac) {

@@ -18,7 +18,21 @@ import (
 	"time"
 
 	"arq/internal/keyword"
+	"arq/internal/obsv"
 	"arq/internal/wire"
+)
+
+// Observability instruments aggregated across all servents in the
+// process: wire messages in/out, relayed queries, duplicate-GUID drops,
+// and query-hits routed back vs dropped for want of a reverse path. One
+// atomic add per TCP message — noise next to the syscall that carried it.
+var (
+	mMsgsIn      = obsv.GetCounter("vantage.msgs_in")
+	mMsgsOut     = obsv.GetCounter("vantage.msgs_out")
+	mRelayed     = obsv.GetCounter("vantage.queries_relayed")
+	mDupDrops    = obsv.GetCounter("vantage.dup_queries_dropped")
+	mHitsRouted  = obsv.GetCounter("vantage.hits_routed")
+	mHitsDropped = obsv.GetCounter("vantage.hits_dropped")
 )
 
 // SharedFile is one item in the servent's library.
@@ -57,6 +71,7 @@ type peerConn struct {
 func (p *peerConn) send(m *wire.Message) error {
 	p.wmu.Lock()
 	defer p.wmu.Unlock()
+	mMsgsOut.Inc()
 	return m.Encode(p.conn)
 }
 
@@ -189,6 +204,7 @@ func (s *Servent) NumConns() int {
 }
 
 func (s *Servent) handle(from *peerConn, m *wire.Message) {
+	mMsgsIn.Inc()
 	switch m.Type {
 	case wire.TypePing:
 		s.handlePing(from, m)
@@ -216,8 +232,10 @@ func (s *Servent) handleQuery(from *peerConn, m *wire.Message) {
 	s.mu.Lock()
 	if _, dup := s.seen[m.ID]; dup {
 		s.mu.Unlock()
+		mDupDrops.Inc()
 		return
 	}
+	mRelayed.Inc()
 	s.seen[m.ID] = from.id
 	matches := matchLibrary(s.index, s.library, q.Search)
 	targets := make([]*peerConn, 0, len(s.conns))
@@ -274,8 +292,10 @@ func (s *Servent) handleQueryHit(from *peerConn, m *wire.Message) {
 	}
 	s.mu.Unlock()
 	if !known {
+		mHitsDropped.Inc()
 		return
 	}
+	mHitsRouted.Inc()
 	if s.cap != nil {
 		s.cap.recordReply(from.id, m.ID, hit)
 	}
