@@ -356,6 +356,57 @@ func BenchmarkRulesetTest(b *testing.B) {
 	}
 }
 
+// BenchmarkWindowMaintenance compares the two ways of keeping a pooled
+// window's rule set current as blocks arrive: the pre-engine reference loop
+// (re-concatenate the retained blocks and run GENERATE-RULESET from
+// scratch, O(width x block) per step) against the delta engine
+// (AddBlock/RemoveBlock on a shared core.PairIndex plus a snapshot,
+// O(block) per step). Sliding is the width=1 case; Wide is width=4.
+func BenchmarkWindowMaintenance(b *testing.B) {
+	cfg := tracegen.PaperProfile()
+	cfg.TotalBlocks = 12
+	gen := tracegen.New(cfg)
+	var blocks []trace.Block
+	for {
+		blk, ok := gen.Next()
+		if !ok {
+			break
+		}
+		blocks = append(blocks, append(trace.Block(nil), blk...))
+	}
+	for _, width := range []int{1, 4} {
+		width := width
+		b.Run(fmt.Sprintf("rebuild/width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			var window []trace.Block
+			for i := 0; i < b.N; i++ {
+				window = append(window, blocks[i%len(blocks)])
+				if len(window) > width {
+					window = window[1:]
+				}
+				var joined trace.Block
+				for _, blk := range window {
+					joined = append(joined, blk...)
+				}
+				core.GenerateRuleSet(joined, 10)
+			}
+		})
+		b.Run(fmt.Sprintf("delta/width=%d", width), func(b *testing.B) {
+			b.ReportAllocs()
+			idx := core.NewPairIndex()
+			var ring []core.BlockDelta
+			for i := 0; i < b.N; i++ {
+				ring = append(ring, idx.AddBlock(blocks[i%len(blocks)]))
+				for len(ring) > width {
+					idx.RemoveBlock(ring[0])
+					ring = ring[1:]
+				}
+				idx.Snapshot(10)
+			}
+		})
+	}
+}
+
 // BenchmarkApriori measures the general association-analysis substrate on
 // role-tagged pair transactions (§III-A).
 func BenchmarkApriori(b *testing.B) {

@@ -13,6 +13,7 @@
 // Usage:
 //
 //	arqbench [-trials N] [-seed S] [-markdown] [-section a,b,...] [-quick] [-json out.json]
+//	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"arq/internal/adapt"
@@ -45,6 +47,8 @@ var (
 	section  = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, rewire)")
 	quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	jsonOut  = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProf  = flag.String("memprofile", "", "write a heap profile taken after all sections to this path")
 )
 
 // art collects every section's rows; written to disk only under -json.
@@ -57,6 +61,34 @@ func rec(section, row string, m map[string]float64) {
 
 func main() {
 	flag.Parse()
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "arqbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "arqbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "arqbench:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the heap profile reflects retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "arqbench:", err)
+				os.Exit(1)
+			}
+		}()
+	}
 	if *quick {
 		if *trials > 60 {
 			*trials = 60
@@ -127,6 +159,7 @@ func policySummary() {
 	specs := []sim.Spec{
 		{Name: "static", Policy: func() core.Policy { return &core.Static{Prune: 10} }, Source: source},
 		{Name: "sliding", Policy: func() core.Policy { return &core.Sliding{Prune: 10} }, Source: source},
+		{Name: "wide (4 blocks)", Policy: func() core.Policy { return &core.Wide{Prune: 10, Width: core.DefaultWideWidth} }, Source: source},
 		{Name: "lazy (10 blocks)", Policy: func() core.Policy { return &core.Lazy{Prune: 10, Interval: 10} }, Source: source},
 		{Name: "adaptive (N=10)", Policy: func() core.Policy { return &core.Adaptive{Prune: 10, Window: 10, Init: 0.7} }, Source: source},
 		{Name: "adaptive (N=50)", Policy: func() core.Policy { return &core.Adaptive{Prune: 10, Window: 50, Init: 0.7} }, Source: source},

@@ -23,11 +23,12 @@ import (
 )
 
 var (
-	policy    = flag.String("policy", "sliding", "static | sliding | lazy | adaptive | incremental")
+	policy    = flag.String("policy", "sliding", "static | sliding | wide | lazy | adaptive | incremental")
 	threshold = flag.Int("threshold", 10, "support-pruning threshold")
 	blockSize = flag.Int("block", 10000, "query-reply pairs per block")
 	trials    = flag.Int("trials", 365, "tested blocks")
 	seed      = flag.Uint64("seed", 1, "generator seed (ignored with -trace)")
+	width     = flag.Int("width", core.DefaultWideWidth, "wide: pooled window width in blocks")
 	interval  = flag.Int("interval", 10, "lazy: blocks between regenerations")
 	window    = flag.Int("window", 10, "adaptive: previous values used for thresholds")
 	initThr   = flag.Float64("init", 0.7, "adaptive: initial coverage/success threshold")
@@ -85,6 +86,8 @@ func buildPolicy() (core.Policy, error) {
 		return &core.Static{Prune: *threshold}, nil
 	case "sliding":
 		return &core.Sliding{Prune: *threshold}, nil
+	case "wide":
+		return &core.Wide{Prune: *threshold, Width: *width}, nil
 	case "lazy":
 		return &core.Lazy{Prune: *threshold, Interval: *interval}, nil
 	case "adaptive":

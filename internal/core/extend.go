@@ -22,6 +22,17 @@ type GenOptions struct {
 	UseInterest bool
 }
 
+// copyBlock snapshots a block so SlidingExt may retain it across Step
+// calls regardless of the Source's buffer ownership. The plain policies no
+// longer need this — they fold blocks into PairIndex deltas — but the
+// extended antecedent (source, interest) does not pack into a PairKey, so
+// the ext path still regenerates from a retained block.
+func copyBlock(b trace.Block) trace.Block {
+	out := make(trace.Block, len(b))
+	copy(out, b)
+	return out
+}
+
 // anteKey is the antecedent of an extended rule; Interest is -1 when the
 // interest dimension is unused.
 type anteKey struct {

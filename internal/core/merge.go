@@ -1,7 +1,5 @@
 package core
 
-import "arq/internal/trace"
-
 // Merge combines rule sets by summing supports — the aggregation a node
 // performs when pooling observations across windows or when neighbors
 // exchange rule sets to build the association overlays §VI sketches. The
@@ -11,38 +9,21 @@ func Merge(prune int, sets ...*RuleSet) *RuleSet {
 	if prune < 1 {
 		prune = 1
 	}
-	sum := make(map[trace.HostID]map[trace.HostID]int)
+	sum := make(map[PairKey]int)
 	for _, rs := range sets {
 		if rs == nil {
 			continue
 		}
-		for src, m := range rs.byAnte {
-			dst := sum[src]
-			if dst == nil {
-				dst = make(map[trace.HostID]int)
-				sum[src] = dst
-			}
-			for rep, c := range m {
-				dst[rep] += c
-			}
+		for k, c := range rs.support {
+			sum[k] += c
 		}
 	}
-	out := &RuleSet{byAnte: make(map[trace.HostID]map[trace.HostID]int)}
-	for src, m := range sum {
-		for rep, c := range m {
-			if c < prune {
-				continue
-			}
-			dst := out.byAnte[src]
-			if dst == nil {
-				dst = make(map[trace.HostID]int)
-				out.byAnte[src] = dst
-			}
-			dst[rep] = c
-			out.count++
+	for k, c := range sum {
+		if c < prune {
+			delete(sum, k)
 		}
 	}
-	return out
+	return newRuleSet(sum)
 }
 
 // DiffStats quantifies how much a rule set changed between two windows —
@@ -70,20 +51,16 @@ func (d DiffStats) Turnover() float64 {
 // Diff compares two rule sets by rule identity (supports are ignored).
 func Diff(old, new *RuleSet) DiffStats {
 	var d DiffStats
-	for src, m := range old.byAnte {
-		for rep := range m {
-			if new.Matches(src, rep) {
-				d.Kept++
-			} else {
-				d.Removed++
-			}
+	for k := range old.support {
+		if new.support[k] > 0 {
+			d.Kept++
+		} else {
+			d.Removed++
 		}
 	}
-	for src, m := range new.byAnte {
-		for rep := range m {
-			if !old.Matches(src, rep) {
-				d.Added++
-			}
+	for k := range new.support {
+		if old.support[k] == 0 {
+			d.Added++
 		}
 	}
 	return d

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"time"
+
+	"arq/internal/stream"
+	"arq/internal/trace"
+)
+
+// This file is the incremental pair-count engine every rule-maintenance
+// policy and the online association router are views over. One table of
+// (source, replier) support counts — keyed by a packed uint64 instead of
+// nested maps — absorbs per-block deltas (windowed policies), per-boundary
+// exponential decay (the §VI incremental policy and routing.Assoc), and
+// materializes the immutable RuleSet of the moment on demand.
+
+// PairKey packs a (source, replier) pair into one 64-bit map key:
+// Source<<32 | Replier. A single flat map keyed by PairKey replaces the
+// nested map[HostID]map[HostID] tables the policies used to rebuild per
+// block: one hash per update instead of two, and no inner-map churn.
+type PairKey uint64
+
+// PackPair builds the key for a (source, replier) pair.
+func PackPair(src, rep trace.HostID) PairKey {
+	return PairKey(uint64(src)<<32 | uint64(rep))
+}
+
+// Source returns the antecedent half of the key.
+func (k PairKey) Source() trace.HostID { return trace.HostID(k >> 32) }
+
+// Replier returns the consequent half of the key.
+func (k PairKey) Replier() trace.HostID { return trace.HostID(k) }
+
+// BlockDelta is one block's pair counts — what AddBlock contributed to the
+// index. Retiring the delta (RemoveBlock) subtracts exactly that
+// contribution, so windowed policies keep a ring of deltas instead of
+// copies of the blocks themselves.
+type BlockDelta map[PairKey]int32
+
+// PairIndex is the incremental pair-count engine. It runs in one of two
+// modes fixed at construction:
+//
+//   - windowed (NewPairIndex): counts are exact integers maintained by
+//     AddBlock/RemoveBlock deltas; Snapshot materializes a RuleSet at a
+//     prune threshold.
+//   - decay (NewDecayIndex): counts age by Decay at boundaries and a pair
+//     is an active rule while its count is at least the activation
+//     threshold; Covers/Matches answer live rule queries in O(1), making
+//     the index itself a RuleView.
+//
+// A PairIndex is not safe for concurrent use.
+type PairIndex struct {
+	counts *stream.CountTable[PairKey]
+
+	// Decay-mode bookkeeping: threshold > 0 enables it. activeBySrc
+	// tracks, per antecedent, how many consequents are at or above the
+	// threshold, so Covers is a single lookup instead of an inner-map
+	// scan; active is the total active-rule count.
+	threshold   float64
+	activeBySrc map[trace.HostID]int
+	active      int
+}
+
+// NewPairIndex returns a windowed-mode engine (exact delta counting).
+func NewPairIndex() *PairIndex {
+	return &PairIndex{counts: stream.NewCountTable[PairKey]()}
+}
+
+// NewDecayIndex returns a decay-mode engine: pairs with count >= threshold
+// are active rules, tracked incrementally. threshold must be positive.
+func NewDecayIndex(threshold float64) *PairIndex {
+	if threshold <= 0 {
+		panic("core: NewDecayIndex requires threshold > 0")
+	}
+	return &PairIndex{
+		counts:      stream.NewCountTable[PairKey](),
+		threshold:   threshold,
+		activeBySrc: make(map[trace.HostID]int),
+	}
+}
+
+// track maintains the threshold-crossing bookkeeping for one entry's count
+// transition.
+func (x *PairIndex) track(k PairKey, old, now float64) {
+	if x.threshold <= 0 {
+		return
+	}
+	was, is := old >= x.threshold, now >= x.threshold
+	if was == is {
+		return
+	}
+	src := k.Source()
+	if is {
+		x.active++
+		x.activeBySrc[src]++
+	} else {
+		x.active--
+		if x.activeBySrc[src]--; x.activeBySrc[src] == 0 {
+			delete(x.activeBySrc, src)
+		}
+	}
+}
+
+// AddPair records one (source, replier) observation.
+func (x *PairIndex) AddPair(src, rep trace.HostID) {
+	k := PackPair(src, rep)
+	old, now := x.counts.Add(k, 1)
+	x.track(k, old, now)
+}
+
+// Add adjusts the pair's count by w (decay-mode Set/Add callers use
+// weighted support).
+func (x *PairIndex) Add(src, rep trace.HostID, w float64) {
+	k := PackPair(src, rep)
+	old, now := x.counts.Add(k, w)
+	x.track(k, old, now)
+}
+
+// Set overwrites the pair's count exactly.
+func (x *PairIndex) Set(src, rep trace.HostID, v float64) {
+	k := PackPair(src, rep)
+	old := x.counts.Set(k, v)
+	x.track(k, old, v)
+}
+
+// Support returns the pair's current count (0 when untracked).
+func (x *PairIndex) Support(src, rep trace.HostID) float64 {
+	return x.counts.Get(PackPair(src, rep))
+}
+
+// AddBlock folds one block into the index and returns the block's own
+// delta, which the caller retains instead of the block; RemoveBlock with
+// that delta subtracts the block's exact contribution later. The block
+// itself is not retained — sources may reuse its buffer.
+func (x *PairIndex) AddBlock(b trace.Block) BlockDelta {
+	delta := make(BlockDelta)
+	for _, p := range b {
+		k := PackPair(p.Source, p.Replier)
+		old, now := x.counts.Add(k, 1)
+		x.track(k, old, now)
+		delta[k]++
+	}
+	return delta
+}
+
+// RemoveBlock retires a previously added block by subtracting its delta.
+func (x *PairIndex) RemoveBlock(d BlockDelta) {
+	for k, n := range d {
+		old, now := x.counts.Add(k, -float64(n))
+		x.track(k, old, now)
+	}
+}
+
+// Decay multiplies every count by factor and drops entries that fall below
+// floor — the per-boundary aging of the §VI incremental policy and of the
+// online router.
+func (x *PairIndex) Decay(factor, floor float64) {
+	x.counts.Decay(factor, floor, func(k PairKey, old, now float64) {
+		x.track(k, old, now)
+	})
+}
+
+// Reset drops all counts (retaining map capacity), so one index can be
+// rebuilt per window without reallocating.
+func (x *PairIndex) Reset() {
+	x.counts.Reset()
+	if x.threshold > 0 {
+		clear(x.activeBySrc)
+		x.active = 0
+	}
+}
+
+// Pairs returns the number of tracked (source, replier) pairs.
+func (x *PairIndex) Pairs() int { return x.counts.Len() }
+
+// ActiveRules returns the number of pairs at or above the activation
+// threshold (decay mode only; 0 in windowed mode).
+func (x *PairIndex) ActiveRules() int { return x.active }
+
+// Covers implements RuleView in decay mode: some consequent for src is at
+// or above the activation threshold.
+func (x *PairIndex) Covers(src trace.HostID) bool {
+	return x.activeBySrc[src] > 0
+}
+
+// Matches implements RuleView in decay mode: the pair's count is at or
+// above the activation threshold.
+func (x *PairIndex) Matches(src, rep trace.HostID) bool {
+	return x.threshold > 0 && x.counts.Get(PackPair(src, rep)) >= x.threshold
+}
+
+// Range calls f for every tracked pair until f returns false. Iteration
+// order is unspecified; f must not mutate the index.
+func (x *PairIndex) Range(f func(k PairKey, count float64) bool) {
+	x.counts.Range(f)
+}
+
+// snapshot materializes the current counts as an immutable RuleSet at the
+// given prune threshold, without instrumentation.
+func (x *PairIndex) snapshot(prune int) *RuleSet {
+	if prune < 1 {
+		prune = 1
+	}
+	support := make(map[PairKey]int)
+	x.counts.Range(func(k PairKey, v float64) bool {
+		if c := int(v); c >= prune {
+			support[k] = c
+		}
+		return true
+	})
+	return newRuleSet(support)
+}
+
+// Snapshot materializes the current counts as an immutable RuleSet,
+// keeping pairs with count >= prune (counts truncate toward zero in decay
+// mode). The build is recorded as a rule-set regeneration in the obsv
+// instruments; for delta-maintained windows this is the whole recurring
+// cost — counting already happened incrementally.
+func (x *PairIndex) Snapshot(prune int) *RuleSet {
+	start := time.Now()
+	rs := x.snapshot(prune)
+	mRegens.Inc()
+	mRegenNs.Observe(time.Since(start).Nanoseconds())
+	mRegenRules.Observe(int64(rs.Len()))
+	return rs
+}
+
+// Rebuild resets the index to exactly one block and snapshots it — the
+// GENERATE-RULESET(b) of the single-block policies, instrumented as one
+// regeneration. Reusing an index across Rebuild calls reuses its storage.
+func (x *PairIndex) Rebuild(block trace.Block, prune int) *RuleSet {
+	start := time.Now()
+	x.Reset()
+	for _, p := range block {
+		k := PackPair(p.Source, p.Replier)
+		old, now := x.counts.Add(k, 1)
+		x.track(k, old, now)
+	}
+	rs := x.snapshot(prune)
+	mRegens.Inc()
+	mRegenNs.Observe(time.Since(start).Nanoseconds())
+	mRegenRules.Observe(int64(rs.Len()))
+	return rs
+}

@@ -1,0 +1,244 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+func TestPairKeyRoundTrip(t *testing.T) {
+	f := func(src, rep uint32) bool {
+		k := PackPair(trace.HostID(src), trace.HostID(rep))
+		return k.Source() == trace.HostID(src) && k.Replier() == trace.HostID(rep)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// randomBlock draws a block whose pair population is small enough that
+// supports frequently cross interesting prune thresholds.
+func randomBlock(rng *stats.RNG, size int) trace.Block {
+	b := make(trace.Block, size)
+	for i := range b {
+		b[i] = trace.Pair{
+			GUID:    trace.GUID(rng.Uint64()),
+			Source:  trace.HostID(1 + rng.Intn(8)),
+			Replier: trace.HostID(1 + rng.Intn(8)),
+		}
+	}
+	return b
+}
+
+func rulesEqual(a, b *RuleSet) bool {
+	ra, rb := a.Rules(), b.Rules()
+	if len(ra) != len(rb) {
+		return false
+	}
+	for i := range ra {
+		if ra[i] != rb[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowedSnapshotsEqualFromScratch is the engine-equivalence property:
+// maintaining a delta window with AddBlock/RemoveBlock and snapshotting
+// must, at every step and for every prune threshold >= 1, equal generating
+// a rule set from scratch over the concatenation of the live window.
+func TestWindowedSnapshotsEqualFromScratch(t *testing.T) {
+	f := func(seed uint64, widthRaw, pruneRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		width := 1 + int(widthRaw)%4
+		prune := 1 + int(pruneRaw)%6
+		idx := NewPairIndex()
+		var ring []BlockDelta
+		var window []trace.Block
+		for step := 0; step < 8; step++ {
+			block := randomBlock(rng, 40+rng.Intn(80))
+			ring = append(ring, idx.AddBlock(block))
+			window = append(window, block)
+			for len(ring) > width {
+				idx.RemoveBlock(ring[0])
+				ring = ring[1:]
+				window = window[1:]
+			}
+			var joined trace.Block
+			for _, b := range window {
+				joined = append(joined, b...)
+			}
+			if !rulesEqual(idx.snapshot(prune), GenerateRuleSet(joined, prune)) {
+				return false
+			}
+		}
+		// Retiring everything must empty the index exactly.
+		for _, d := range ring {
+			idx.RemoveBlock(d)
+		}
+		return idx.Pairs() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// refIncremental is the pre-engine Incremental implementation — private
+// nested float table with inline decay, cover scan, and test-then-train —
+// preserved as the behavioural reference for the decay-mode engine.
+type refIncremental struct {
+	decay     float64
+	threshold float64
+	counts    map[trace.HostID]map[trace.HostID]float64
+}
+
+func (in *refIncremental) covers(src trace.HostID) bool {
+	for _, c := range in.counts[src] {
+		if c >= in.threshold {
+			return true
+		}
+	}
+	return false
+}
+
+func (in *refIncremental) ruleCount() int {
+	n := 0
+	for _, m := range in.counts {
+		for _, c := range m {
+			if c >= in.threshold {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func (in *refIncremental) step(block trace.Block) TestResult {
+	if in.counts == nil {
+		in.counts = make(map[trace.HostID]map[trace.HostID]float64)
+	}
+	for src, m := range in.counts {
+		for rep, c := range m {
+			c *= in.decay
+			if c < 0.05 {
+				delete(m, rep)
+			} else {
+				m[rep] = c
+			}
+		}
+		if len(m) == 0 {
+			delete(in.counts, src)
+		}
+	}
+	type state struct{ covered, successful bool }
+	seen := make(map[trace.GUID]*state, len(block))
+	var res TestResult
+	for _, p := range block {
+		st := seen[p.GUID]
+		if st == nil {
+			st = &state{covered: in.covers(p.Source)}
+			seen[p.GUID] = st
+			res.N++
+			if st.covered {
+				res.Covered++
+			}
+		}
+		if st.covered && !st.successful && in.counts[p.Source][p.Replier] >= in.threshold {
+			st.successful = true
+			res.Successful++
+		}
+		m := in.counts[p.Source]
+		if m == nil {
+			m = make(map[trace.HostID]float64)
+			in.counts[p.Source] = m
+		}
+		m[p.Replier]++
+	}
+	return res
+}
+
+// TestDecayModeMatchesOldIncremental: the decay-mode engine view must
+// reproduce the old Incremental's per-block results and rule counts
+// exactly, float decay residue included, across random traces with
+// repeated GUIDs.
+func TestDecayModeMatchesOldIncremental(t *testing.T) {
+	f := func(seed uint64, thRaw uint8) bool {
+		rng := stats.NewRNG(seed)
+		threshold := float64(1 + int(thRaw)%3)
+		in := &Incremental{Decay: 0.9, Threshold: threshold}
+		ref := &refIncremental{decay: 0.9, threshold: threshold}
+		for step := 0; step < 10; step++ {
+			block := randomBlock(rng, 30+rng.Intn(60))
+			// Revisit some GUIDs so multi-reply queries are exercised.
+			for i := 0; i+1 < len(block); i += 3 {
+				block[i+1].GUID = block[i].GUID
+			}
+			got := in.Step(block)
+			want := ref.step(block)
+			if step > 0 && got.Result != want {
+				return false
+			}
+			if in.RuleCount() != ref.ruleCount() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecayIndexBookkeeping(t *testing.T) {
+	x := NewDecayIndex(2)
+	if x.Covers(1) || x.ActiveRules() != 0 {
+		t.Fatal("fresh index has active rules")
+	}
+	x.AddPair(1, 10)
+	if x.Covers(1) {
+		t.Fatal("count 1 crossed threshold 2")
+	}
+	x.AddPair(1, 10)
+	if !x.Covers(1) || !x.Matches(1, 10) || x.ActiveRules() != 1 {
+		t.Fatalf("activation missed: covers=%v matches=%v active=%d",
+			x.Covers(1), x.Matches(1, 10), x.ActiveRules())
+	}
+	x.Decay(0.5, 0.05) // 2 -> 1: below threshold, retained
+	if x.Covers(1) || x.ActiveRules() != 0 || x.Pairs() != 1 {
+		t.Fatalf("deactivation missed: covers=%v active=%d pairs=%d",
+			x.Covers(1), x.ActiveRules(), x.Pairs())
+	}
+	x.Set(1, 10, 3.5)
+	if !x.Covers(1) || x.Support(1, 10) != 3.5 {
+		t.Fatalf("Set: covers=%v support=%v", x.Covers(1), x.Support(1, 10))
+	}
+	x.Decay(0.001, 0.05) // drops the entry entirely
+	if x.Pairs() != 0 || x.ActiveRules() != 0 || x.Covers(1) {
+		t.Fatal("floor eviction left residue")
+	}
+	x.Reset()
+	if x.Pairs() != 0 || x.ActiveRules() != 0 {
+		t.Fatal("reset left residue")
+	}
+}
+
+func TestSnapshotPruneFloorAndRebuildReuse(t *testing.T) {
+	blk := trace.Block{
+		pair(1, 1, 10), pair(2, 1, 10), pair(3, 2, 20),
+	}
+	idx := NewPairIndex()
+	rs := idx.Rebuild(blk, 0) // prune < 1 behaves as 1
+	if rs.Len() != 2 || rs.SupportOf(1, 10) != 2 || rs.SupportOf(2, 20) != 1 {
+		t.Fatalf("rules = %v", rs.Rules())
+	}
+	// Rebuild replaces, not accumulates.
+	rs = idx.Rebuild(blk, 2)
+	if rs.Len() != 1 || rs.SupportOf(1, 10) != 2 {
+		t.Fatalf("rules after rebuild = %v", rs.Rules())
+	}
+	if idx.Pairs() != 2 {
+		t.Fatalf("index pairs = %d, want 2", idx.Pairs())
+	}
+}

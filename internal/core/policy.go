@@ -24,19 +24,15 @@ type StepResult struct {
 // Policy is a rule-set maintenance policy (§III-B.3–6): it consumes trace
 // blocks in order and reports per-block quality. Policies are stateful and
 // not safe for concurrent use; run one instance per goroutine.
+//
+// No policy retains the block passed to Step: windowed policies fold it
+// into a PairIndex and keep only the resulting BlockDelta, so sources may
+// reuse block buffers across calls.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
 	// Step processes the next block.
 	Step(block trace.Block) StepResult
-}
-
-// copyBlock snapshots a block so a policy may retain it across Step calls
-// regardless of the Source's buffer ownership.
-func copyBlock(b trace.Block) trace.Block {
-	out := make(trace.Block, len(b))
-	copy(out, b)
-	return out
 }
 
 // Static implements STATIC-RULESET (§III-B.3): one rule set is generated
@@ -60,10 +56,15 @@ func (s *Static) Step(block trace.Block) StepResult {
 }
 
 // Sliding implements SLIDING-WINDOW (§III-B.4): before testing each block,
-// the rule set is regenerated from the immediately preceding block.
+// the rule set is regenerated from the immediately preceding block — here
+// as the width-1 case of the delta window: the index always holds exactly
+// the previous block's counts, maintained by retiring its delta and adding
+// the new block's.
 type Sliding struct {
-	Prune int
-	prev  trace.Block
+	Prune   int
+	idx     *PairIndex
+	prev    BlockDelta
+	started bool
 }
 
 // Name implements Policy.
@@ -71,25 +72,35 @@ func (s *Sliding) Name() string { return "sliding" }
 
 // Step implements Policy.
 func (s *Sliding) Step(block trace.Block) StepResult {
-	if s.prev == nil {
-		s.prev = copyBlock(block)
+	if s.idx == nil {
+		s.idx = NewPairIndex()
+	}
+	if !s.started {
+		s.started = true
+		s.prev = s.idx.AddBlock(block)
 		return StepResult{}
 	}
-	rs := GenerateRuleSet(s.prev, s.Prune)
+	rs := s.idx.Snapshot(s.Prune)
 	res := rs.Test(block)
-	s.prev = copyBlock(block)
+	s.idx.RemoveBlock(s.prev)
+	s.prev = s.idx.AddBlock(block)
 	return StepResult{Tested: true, Result: res, Regenerated: true, Rules: rs.Len()}
 }
 
 // Wide is a sliding window of Width blocks: the rule set is regenerated
-// every block from the concatenation of the previous Width blocks. Width=1
+// every block from the pooled counts of the previous Width blocks. Width=1
 // is exactly Sliding; larger widths trade recency for support (an ablation
 // of the paper's one-block window choice — §III-B.4 notes larger windows
-// "consider more hosts ... meaning some rules may be stale").
+// "consider more hosts ... meaning some rules may be stale"). The index
+// carries the pooled counts across steps — add the newest block's delta,
+// retire the oldest — so a step costs O(block) regardless of Width, where
+// the pre-engine implementation re-concatenated and re-counted all Width
+// blocks (O(Width·block)) every step.
 type Wide struct {
 	Prune int
 	Width int
-	hist  []trace.Block
+	idx   *PairIndex
+	ring  []BlockDelta
 }
 
 // Name implements Policy.
@@ -101,19 +112,20 @@ func (w *Wide) Step(block trace.Block) StepResult {
 	if width <= 0 {
 		width = 1
 	}
-	if len(w.hist) == 0 {
-		w.hist = append(w.hist, copyBlock(block))
+	if w.idx == nil {
+		w.idx = NewPairIndex()
+	}
+	if len(w.ring) == 0 {
+		w.ring = append(w.ring, w.idx.AddBlock(block))
 		return StepResult{}
 	}
-	var joined trace.Block
-	for _, b := range w.hist {
-		joined = append(joined, b...)
-	}
-	rs := GenerateRuleSet(joined, w.Prune)
+	rs := w.idx.Snapshot(w.Prune)
 	res := rs.Test(block)
-	w.hist = append(w.hist, copyBlock(block))
-	if len(w.hist) > width {
-		w.hist = w.hist[len(w.hist)-width:]
+	w.ring = append(w.ring, w.idx.AddBlock(block))
+	for len(w.ring) > width {
+		w.idx.RemoveBlock(w.ring[0])
+		w.ring[0] = nil
+		w.ring = w.ring[1:]
 	}
 	return StepResult{Tested: true, Result: res, Regenerated: true, Rules: rs.Len()}
 }
@@ -129,12 +141,20 @@ func (w *Wide) Step(block trace.Block) StepResult {
 type Lazy struct {
 	Prune    int
 	Interval int
+	idx      *PairIndex
 	rs       *RuleSet
 	used     int
 }
 
 // Name implements Policy.
 func (l *Lazy) Name() string { return "lazy" }
+
+func (l *Lazy) regen(block trace.Block) *RuleSet {
+	if l.idx == nil {
+		l.idx = NewPairIndex()
+	}
+	return l.idx.Rebuild(block, l.Prune)
+}
 
 // Step implements Policy.
 func (l *Lazy) Step(block trace.Block) StepResult {
@@ -143,14 +163,14 @@ func (l *Lazy) Step(block trace.Block) StepResult {
 		interval = 10
 	}
 	if l.rs == nil {
-		l.rs = GenerateRuleSet(block, l.Prune)
+		l.rs = l.regen(block)
 		return StepResult{Regenerated: true, Rules: l.rs.Len()}
 	}
 	res := l.rs.Test(block)
 	l.used++
 	regen := false
 	if l.used%interval == 0 {
-		l.rs = GenerateRuleSet(block, l.Prune)
+		l.rs = l.regen(block)
 		regen = true
 	}
 	return StepResult{Tested: true, Result: res, Regenerated: regen, Rules: l.rs.Len()}
@@ -166,6 +186,7 @@ type Adaptive struct {
 	Prune  int
 	Window int     // history length for threshold calculation
 	Init   float64 // threshold used until history accumulates
+	idx    *PairIndex
 	rs     *RuleSet
 	covMM  *stats.MovingMean
 	sucMM  *stats.MovingMean
@@ -173,6 +194,13 @@ type Adaptive struct {
 
 // Name implements Policy.
 func (a *Adaptive) Name() string { return "adaptive" }
+
+func (a *Adaptive) regen(block trace.Block) *RuleSet {
+	if a.idx == nil {
+		a.idx = NewPairIndex()
+	}
+	return a.idx.Rebuild(block, a.Prune)
+}
 
 // Step implements Policy.
 func (a *Adaptive) Step(block trace.Block) StepResult {
@@ -185,7 +213,7 @@ func (a *Adaptive) Step(block trace.Block) StepResult {
 		a.sucMM = stats.NewMovingMean(w)
 	}
 	if a.rs == nil {
-		a.rs = GenerateRuleSet(block, a.Prune)
+		a.rs = a.regen(block)
 		return StepResult{Regenerated: true, Rules: a.rs.Len()}
 	}
 	// Thresholds come from history prior to this block
@@ -199,7 +227,7 @@ func (a *Adaptive) Step(block trace.Block) StepResult {
 	cov, suc := res.Coverage(), res.Success()
 	regen := false
 	if cov < ct || suc < st {
-		a.rs = GenerateRuleSet(block, a.Prune)
+		a.rs = a.regen(block)
 		regen = true
 	}
 	a.covMM.Add(cov)
@@ -209,17 +237,23 @@ func (a *Adaptive) Step(block trace.Block) StepResult {
 
 // Incremental implements the paper's future-work policy (§VI): rules are
 // updated immediately as query–reply pairs are observed, with no wholesale
-// regeneration. Counts decay by Decay at each block boundary so stale
-// pairs age out; a (source, replier) pair is a rule while its decayed
-// count is at least Threshold. Each query is tested against the rule state
-// as of its arrival and only then folded in (test-then-train), so the
-// reported coverage/success never peeks at the pair being scored.
+// regeneration. It is the decay-mode view of the pair-count engine: counts
+// age by Decay at each block boundary so stale pairs drop out, and a
+// (source, replier) pair is a rule while its decayed count is at least
+// Threshold. Each query is tested against the rule state as of its arrival
+// and only then folded in (test-then-train, via the shared block
+// evaluator's train hook), so the reported coverage/success never peeks at
+// the pair being scored.
 type Incremental struct {
 	Decay     float64 // per-block multiplicative decay, default 0.9
-	Threshold float64 // rule-activation count, default 2
-	counts    map[trace.HostID]map[trace.HostID]float64
+	Threshold float64 // rule-activation count, default 2; fixed at first Step
+	idx       *PairIndex
 	started   bool
 }
+
+// incrementalFloor is the decayed count below which a pair is dropped to
+// bound memory.
+const incrementalFloor = 0.05
 
 // Name implements Policy.
 func (in *Incremental) Name() string { return "incremental" }
@@ -236,94 +270,46 @@ func (in *Incremental) params() (decay, threshold float64) {
 	return decay, threshold
 }
 
-func (in *Incremental) covers(src trace.HostID, threshold float64) bool {
-	for _, c := range in.counts[src] {
-		if c >= threshold {
-			return true
-		}
-	}
-	return false
-}
-
 // RuleCount returns the number of active rules at the current state.
 func (in *Incremental) RuleCount() int {
-	_, threshold := in.params()
-	n := 0
-	for _, m := range in.counts {
-		for _, c := range m {
-			if c >= threshold {
-				n++
-			}
-		}
+	if in.idx == nil {
+		return 0
 	}
-	return n
+	return in.idx.ActiveRules()
 }
 
 // Step implements Policy.
 func (in *Incremental) Step(block trace.Block) StepResult {
 	decay, threshold := in.params()
-	if in.counts == nil {
-		in.counts = make(map[trace.HostID]map[trace.HostID]float64)
+	if in.idx == nil {
+		in.idx = NewDecayIndex(threshold)
 	}
 	warmup := !in.started
 	in.started = true
 
-	// Age out old observations at the block boundary, dropping entries
-	// whose count has decayed to insignificance to bound memory.
-	for src, m := range in.counts {
-		for rep, c := range m {
-			c *= decay
-			if c < 0.05 {
-				delete(m, rep)
-			} else {
-				m[rep] = c
-			}
-		}
-		if len(m) == 0 {
-			delete(in.counts, src)
-		}
-	}
+	// Age out old observations at the block boundary.
+	in.idx.Decay(decay, incrementalFloor)
 
-	type state struct{ covered, successful bool }
-	seen := make(map[trace.GUID]*state, len(block))
-	var res TestResult
-	for _, p := range block {
-		st := seen[p.GUID]
-		if st == nil {
-			st = &state{covered: in.covers(p.Source, threshold)}
-			seen[p.GUID] = st
-			res.N++
-			if st.covered {
-				res.Covered++
-			}
-		}
-		if st.covered && !st.successful && in.counts[p.Source][p.Replier] >= threshold {
-			st.successful = true
-			res.Successful++
-		}
-		// Train after testing.
-		m := in.counts[p.Source]
-		if m == nil {
-			m = make(map[trace.HostID]float64)
-			in.counts[p.Source] = m
-		}
-		m[p.Replier]++
-	}
+	res := evalBlock(in.idx, block, func(p trace.Pair) {
+		in.idx.AddPair(p.Source, p.Replier)
+	})
 	if warmup {
-		return StepResult{Rules: in.RuleCount()}
+		return StepResult{Rules: in.idx.ActiveRules()}
 	}
-	return StepResult{Tested: true, Result: res, Rules: in.RuleCount()}
+	return StepResult{Tested: true, Result: res, Rules: in.idx.ActiveRules()}
 }
 
 // NewPolicy constructs a policy by name with the given prune threshold and
 // default parameters; it is the factory the CLIs use. Recognized names:
-// static, sliding, lazy, adaptive, incremental.
+// static, sliding, wide, lazy, adaptive, incremental.
 func NewPolicy(name string, prune int) (Policy, error) {
 	switch name {
 	case "static":
 		return &Static{Prune: prune}, nil
 	case "sliding":
 		return &Sliding{Prune: prune}, nil
+	case "wide":
+		return &Wide{Prune: prune, Width: DefaultWideWidth}, nil
 	case "lazy":
 		return &Lazy{Prune: prune, Interval: 10}, nil
 	case "adaptive":
@@ -333,4 +319,15 @@ func NewPolicy(name string, prune int) (Policy, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown policy %q", name)
 	}
+}
+
+// DefaultWideWidth is the window width NewPolicy gives the wide policy —
+// wide enough to pool support across blocks, narrow enough that rules are
+// not dominated by stale hosts (the §III-B.4 staleness remark).
+const DefaultWideWidth = 4
+
+// PolicyNames lists every name NewPolicy recognizes, in presentation
+// order.
+func PolicyNames() []string {
+	return []string{"static", "sliding", "wide", "lazy", "adaptive", "incremental"}
 }

@@ -61,7 +61,7 @@ func testedOnly(results []StepResult) []StepResult {
 }
 
 func TestAllPoliciesWarmUpOnFirstBlock(t *testing.T) {
-	for _, name := range []string{"static", "sliding", "lazy", "adaptive", "incremental"} {
+	for _, name := range PolicyNames() {
 		p, err := NewPolicy(name, 2)
 		if err != nil {
 			t.Fatal(err)
@@ -79,8 +79,35 @@ func TestNewPolicyUnknown(t *testing.T) {
 	}
 }
 
+func TestNewPolicyCoversEveryName(t *testing.T) {
+	for _, name := range PolicyNames() {
+		p, err := NewPolicy(name, 3)
+		if err != nil {
+			t.Fatalf("NewPolicy(%q): %v", name, err)
+		}
+		if p.Name() != name {
+			t.Fatalf("NewPolicy(%q).Name() = %q", name, p.Name())
+		}
+	}
+	// wide must come with a usable default width, not collapse to width 1.
+	p, err := NewPolicy("wide", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, ok := p.(*Wide)
+	if !ok {
+		t.Fatalf("NewPolicy(wide) = %T", p)
+	}
+	if w.Width != DefaultWideWidth || w.Width < 2 {
+		t.Fatalf("wide default width = %d, want %d (>= 2)", w.Width, DefaultWideWidth)
+	}
+	if w.Prune != 3 {
+		t.Fatalf("wide prune = %d, want 3", w.Prune)
+	}
+}
+
 func TestPoliciesPerfectOnStableTrace(t *testing.T) {
-	for _, name := range []string{"static", "sliding", "lazy", "adaptive", "incremental"} {
+	for _, name := range PolicyNames() {
 		p, _ := NewPolicy(name, 2)
 		results := testedOnly(runPolicy(p, stableBlocks(8, 10)))
 		if len(results) != 7 {
@@ -264,8 +291,16 @@ func TestWideKeepsBoundedHistory(t *testing.T) {
 	for _, b := range blocks {
 		w.Step(b)
 	}
-	if len(w.hist) > 3 {
-		t.Fatalf("history = %d blocks, want <= 3", len(w.hist))
+	if len(w.ring) > 3 {
+		t.Fatalf("history = %d block deltas, want <= 3", len(w.ring))
+	}
+	// The pooled index must hold exactly the pairs of the retained window:
+	// 3 blocks x 3 distinct pairs.
+	if w.idx.Pairs() != 3 {
+		t.Fatalf("index tracks %d pairs, want 3", w.idx.Pairs())
+	}
+	if got := w.idx.Support(1, 11); got != 15 {
+		t.Fatalf("pooled support = %v, want 15 (3 blocks x 5)", got)
 	}
 }
 

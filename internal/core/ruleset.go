@@ -10,7 +10,8 @@
 // (α = n/N, Eq. 1) and success (ρ = s/n, Eq. 2). Four maintenance policies
 // — Static Ruleset, Sliding Window, Lazy Sliding Window, and Adaptive
 // Sliding Window — plus the paper's future-work incremental policy are in
-// policy.go.
+// policy.go; all of them maintain their support counts through the
+// incremental pair-count engine in pairindex.go.
 package core
 
 import (
@@ -25,7 +26,8 @@ import (
 // Observability instruments: rule-set regeneration is the system's
 // dominant recurring cost (the paper reports "no more than a few seconds"
 // per generation), so count, duration, and resulting table size are
-// tracked for every build, and block tests likewise.
+// tracked for every build, and block tests likewise. Delta-window policies
+// record only the snapshot here — their counting happens incrementally.
 var (
 	mRegens     = obsv.GetCounter("core.ruleset.regens")
 	mRegenNs    = obsv.GetHistogram("core.ruleset.regen_ns", obsv.DurationBuckets())
@@ -49,108 +51,86 @@ func (r Rule) String() string {
 }
 
 // RuleSet is the set of routing rules a node derives from one generation
-// window, indexed by antecedent. RuleSets are immutable once built.
+// window: a flat support table keyed by packed pair plus per-antecedent
+// consequent lists pre-sorted by descending support (HostID ascending as
+// the deterministic tiebreak). RuleSets are immutable once built.
 type RuleSet struct {
-	byAnte map[trace.HostID]map[trace.HostID]int
-	count  int
+	support map[PairKey]int
+	conseq  map[trace.HostID][]trace.HostID
+}
+
+// newRuleSet builds the immutable query structures over a pruned support
+// table. The table is owned by the rule set afterwards.
+func newRuleSet(support map[PairKey]int) *RuleSet {
+	rs := &RuleSet{support: support, conseq: make(map[trace.HostID][]trace.HostID)}
+	for k := range support {
+		src := k.Source()
+		rs.conseq[src] = append(rs.conseq[src], k.Replier())
+	}
+	for src, list := range rs.conseq {
+		src := src
+		sort.Slice(list, func(i, j int) bool {
+			si, sj := support[PackPair(src, list[i])], support[PackPair(src, list[j])]
+			if si != sj {
+				return si > sj
+			}
+			return list[i] < list[j]
+		})
+	}
+	return rs
 }
 
 // GenerateRuleSet implements GENERATE-RULESET: count (source, replier)
 // pairs within the block and keep those seen at least pruneThreshold times
 // (support pruning, §III-B.1). The paper's experimental default threshold
-// is 10. A threshold below 1 is treated as 1.
+// is 10. A threshold below 1 is treated as 1. This is the one-shot form of
+// the engine; policies that keep a window alive hold a PairIndex instead.
 func GenerateRuleSet(block trace.Block, pruneThreshold int) *RuleSet {
-	start := time.Now()
-	if pruneThreshold < 1 {
-		pruneThreshold = 1
-	}
-	counts := make(map[trace.HostID]map[trace.HostID]int)
-	for _, p := range block {
-		m := counts[p.Source]
-		if m == nil {
-			m = make(map[trace.HostID]int)
-			counts[p.Source] = m
-		}
-		m[p.Replier]++
-	}
-	rs := &RuleSet{byAnte: make(map[trace.HostID]map[trace.HostID]int)}
-	for src, m := range counts {
-		for rep, c := range m {
-			if c < pruneThreshold {
-				continue
-			}
-			dst := rs.byAnte[src]
-			if dst == nil {
-				dst = make(map[trace.HostID]int)
-				rs.byAnte[src] = dst
-			}
-			dst[rep] = c
-			rs.count++
-		}
-	}
-	mRegens.Inc()
-	mRegenNs.Observe(time.Since(start).Nanoseconds())
-	mRegenRules.Observe(int64(rs.count))
-	return rs
+	return NewPairIndex().Rebuild(block, pruneThreshold)
 }
 
 // Len returns the number of rules in the set.
-func (rs *RuleSet) Len() int { return rs.count }
+func (rs *RuleSet) Len() int { return len(rs.support) }
 
 // Covers reports whether any rule has src as its antecedent — i.e. the
 // rule set can route queries arriving from src.
 func (rs *RuleSet) Covers(src trace.HostID) bool {
-	return len(rs.byAnte[src]) > 0
+	return len(rs.conseq[src]) > 0
 }
 
 // Matches reports whether {src} -> {replier} is a rule in the set.
 func (rs *RuleSet) Matches(src, replier trace.HostID) bool {
-	return rs.byAnte[src][replier] > 0
+	return rs.support[PackPair(src, replier)] > 0
 }
 
 // SupportOf returns the support count of {src} -> {replier}, or 0 if the
 // rule is absent.
 func (rs *RuleSet) SupportOf(src, replier trace.HostID) int {
-	return rs.byAnte[src][replier]
+	return rs.support[PackPair(src, replier)]
 }
 
 // Consequents returns up to k consequent hosts for queries arriving from
 // src, ordered by descending support with HostID as a deterministic
 // tiebreak — "sent to the k neighbors with the highest support"
-// (§III-B.1). k <= 0 returns all consequents for src.
+// (§III-B.1). k <= 0 returns all consequents for src. The ordering is
+// precomputed at build time, so this is a slice copy.
 func (rs *RuleSet) Consequents(src trace.HostID, k int) []trace.HostID {
-	m := rs.byAnte[src]
-	if len(m) == 0 {
+	list := rs.conseq[src]
+	if len(list) == 0 {
 		return nil
 	}
-	type cs struct {
-		host trace.HostID
-		sup  int
+	if k > 0 && k < len(list) {
+		list = list[:k]
 	}
-	all := make([]cs, 0, len(m))
-	for h, s := range m {
-		all = append(all, cs{h, s})
-	}
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].sup != all[j].sup {
-			return all[i].sup > all[j].sup
-		}
-		return all[i].host < all[j].host
-	})
-	if k > 0 && k < len(all) {
-		all = all[:k]
-	}
-	out := make([]trace.HostID, len(all))
-	for i, c := range all {
-		out[i] = c.host
-	}
+	out := make([]trace.HostID, len(list))
+	copy(out, list)
 	return out
 }
 
 // Antecedents returns the sorted antecedent hosts of the rule set.
 func (rs *RuleSet) Antecedents() []trace.HostID {
-	out := make([]trace.HostID, 0, len(rs.byAnte))
-	for h := range rs.byAnte {
+	out := make([]trace.HostID, 0, len(rs.conseq))
+	for h := range rs.conseq {
 		out = append(out, h)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
@@ -160,11 +140,9 @@ func (rs *RuleSet) Antecedents() []trace.HostID {
 // Rules returns every rule, sorted by antecedent then consequent, for
 // inspection and serialization.
 func (rs *RuleSet) Rules() []Rule {
-	out := make([]Rule, 0, rs.count)
-	for src, m := range rs.byAnte {
-		for rep, c := range m {
-			out = append(out, Rule{Antecedent: src, Consequent: rep, Support: c})
-		}
+	out := make([]Rule, 0, len(rs.support))
+	for k, c := range rs.support {
+		out = append(out, Rule{Antecedent: k.Source(), Consequent: k.Replier(), Support: c})
 	}
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Antecedent != out[j].Antecedent {
@@ -203,12 +181,30 @@ func (t TestResult) Success() float64 {
 	return float64(t.Successful) / float64(t.Covered)
 }
 
-// Test implements RULESET-TEST: evaluate the rule set against a block of
-// query–reply pairs. Queries are identified by GUID; a query with several
-// replies counts once, and is successful if any of its replies matches a
-// rule for its source.
-func (rs *RuleSet) Test(block trace.Block) TestResult {
-	start := time.Now()
+// RuleView is the read interface rule evaluation needs: whether queries
+// from src are covered at all, and whether a specific (source, replier)
+// pair is a rule. Both the immutable RuleSet and the live decay-mode
+// PairIndex implement it, so the simulator's block tests and the online
+// incremental policy share one evaluator — and therefore one set of rule
+// semantics.
+type RuleView interface {
+	Covers(src trace.HostID) bool
+	Matches(src, replier trace.HostID) bool
+}
+
+// EvaluateBlock runs RULESET-TEST (§III-B.2) over a block against any rule
+// view: queries are identified by GUID, a query with several replies
+// counts once, its covered status is fixed at first sighting, and it is
+// successful if any of its replies matches a rule for its source.
+func EvaluateBlock(v RuleView, block trace.Block) TestResult {
+	return evalBlock(v, block, nil)
+}
+
+// evalBlock is EvaluateBlock with an optional per-pair train hook invoked
+// after the pair has been scored — the test-then-train discipline of the
+// incremental policy, which folds each pair in only after it was evaluated
+// against the rule state as of its arrival.
+func evalBlock(v RuleView, block trace.Block, train func(trace.Pair)) TestResult {
 	type state struct {
 		covered, successful bool
 	}
@@ -217,18 +213,29 @@ func (rs *RuleSet) Test(block trace.Block) TestResult {
 	for _, p := range block {
 		st := seen[p.GUID]
 		if st == nil {
-			st = &state{covered: rs.Covers(p.Source)}
+			st = &state{covered: v.Covers(p.Source)}
 			seen[p.GUID] = st
 			res.N++
 			if st.covered {
 				res.Covered++
 			}
 		}
-		if st.covered && !st.successful && rs.Matches(p.Source, p.Replier) {
+		if st.covered && !st.successful && v.Matches(p.Source, p.Replier) {
 			st.successful = true
 			res.Successful++
 		}
+		if train != nil {
+			train(p)
+		}
 	}
+	return res
+}
+
+// Test implements RULESET-TEST: evaluate the rule set against a block of
+// query–reply pairs.
+func (rs *RuleSet) Test(block trace.Block) TestResult {
+	start := time.Now()
+	res := EvaluateBlock(rs, block)
 	mTests.Inc()
 	mTestNs.Observe(time.Since(start).Nanoseconds())
 	return res

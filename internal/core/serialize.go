@@ -36,7 +36,7 @@ func (rs *RuleSet) Save(w io.Writer) error {
 // LoadRuleSet reads a rule set written by Save. Duplicate
 // antecedent/consequent lines keep the last support value.
 func LoadRuleSet(r io.Reader) (*RuleSet, error) {
-	rs := &RuleSet{byAnte: make(map[trace.HostID]map[trace.HostID]int)}
+	support := make(map[PairKey]int)
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
 	line := 0
@@ -53,18 +53,10 @@ func LoadRuleSet(r io.Reader) (*RuleSet, error) {
 		if rec.Support <= 0 {
 			return nil, fmt.Errorf("core: rule set line %d: non-positive support", line)
 		}
-		m := rs.byAnte[rec.Antecedent]
-		if m == nil {
-			m = make(map[trace.HostID]int)
-			rs.byAnte[rec.Antecedent] = m
-		}
-		if _, dup := m[rec.Consequent]; !dup {
-			rs.count++
-		}
-		m[rec.Consequent] = rec.Support
+		support[PackPair(rec.Antecedent, rec.Consequent)] = rec.Support
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	return rs, nil
+	return newRuleSet(support), nil
 }

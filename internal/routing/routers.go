@@ -10,6 +10,7 @@ package routing
 import (
 	"sort"
 
+	"arq/internal/core"
 	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/peer"
@@ -133,10 +134,31 @@ func DefaultAssocConfig() AssocConfig {
 // consequents only, and falls back to flooding for uncovered queries
 // (§III-B: "if hits aren't found ... the node can still revert to
 // flooding"). Queries originated locally use a distinct antecedent slot.
+//
+// The support table is the decay-mode core.PairIndex — the same engine the
+// simulator's maintenance policies run on — so the deployed router and the
+// trace-driven evaluation share one set of rule semantics.
 type Assoc struct {
-	cfg    AssocConfig
-	counts map[int]map[int32]float64 // antecedent upstream -> consequent -> support
-	seen   int
+	cfg  AssocConfig
+	idx  *core.PairIndex
+	seen int
+}
+
+// assocFloor is the decayed support below which a pair is dropped from the
+// router's table to bound memory.
+const assocFloor = 0.25
+
+// assocHost maps a simulator node id into the engine's HostID key space.
+// Node ids are 0-based, so they shift up by one; peer.NoUpstream (-1), the
+// local-origin antecedent slot, lands on trace.NoHost — semantically "no
+// upstream host", and never a real node under this mapping.
+func assocHost(v int) trace.HostID {
+	return trace.HostID(uint32(v) + 1)
+}
+
+// assocNode inverts assocHost for consequent ids.
+func assocNode(h trace.HostID) int32 {
+	return int32(uint32(h) - 1)
 }
 
 // NewAssoc returns an association-rule router for one node.
@@ -153,7 +175,7 @@ func NewAssoc(cfg AssocConfig) *Assoc {
 	if cfg.DecayEvery <= 0 {
 		cfg.DecayEvery = 64
 	}
-	return &Assoc{cfg: cfg, counts: make(map[int]map[int32]float64)}
+	return &Assoc{cfg: cfg, idx: core.NewDecayIndex(cfg.Threshold)}
 }
 
 // Name implements peer.Router.
@@ -169,7 +191,7 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 		mAssocFloodPhase.Inc()
 		return Flood{}.Route(u, from, q, nbrs)
 	}
-	rules := a.counts[from]
+	ante := assocHost(from)
 	type cand struct {
 		v   int32
 		sup float64
@@ -179,7 +201,7 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 		if int(v) == from {
 			continue
 		}
-		if sup := rules[v]; sup >= a.cfg.Threshold {
+		if sup := a.idx.Support(ante, assocHost(int(v))); sup >= a.cfg.Threshold {
 			cands = append(cands, cand{v, sup})
 		}
 	}
@@ -221,27 +243,10 @@ func (a *Assoc) ObserveHit(u, from int, _ peer.Meta, via int) {
 		// consequent to learn.
 		return
 	}
-	m := a.counts[from]
-	if m == nil {
-		m = make(map[int32]float64)
-		a.counts[from] = m
-	}
-	m[int32(via)]++
+	a.idx.AddPair(assocHost(from), assocHost(via))
 	a.seen++
 	if a.seen%a.cfg.DecayEvery == 0 {
-		for ante, rules := range a.counts {
-			for v, sup := range rules {
-				sup *= a.cfg.Decay
-				if sup < 0.25 {
-					delete(rules, v)
-				} else {
-					rules[v] = sup
-				}
-			}
-			if len(rules) == 0 {
-				delete(a.counts, ante)
-			}
-		}
+		a.idx.Decay(a.cfg.Decay, assocFloor)
 	}
 }
 
@@ -250,16 +255,18 @@ func (a *Assoc) ObserveHit(u, from int, _ peer.Meta, via int) {
 // topology-adaptation extension uses this to answer "to which node would
 // you forward queries from me?" (§VI).
 func (a *Assoc) Consequents(antecedent int) []int32 {
+	ante := assocHost(antecedent)
 	type cand struct {
 		v   int32
 		sup float64
 	}
 	var cands []cand
-	for v, sup := range a.counts[antecedent] {
-		if sup >= a.cfg.Threshold {
-			cands = append(cands, cand{v, sup})
+	a.idx.Range(func(k core.PairKey, sup float64) bool {
+		if k.Source() == ante && sup >= a.cfg.Threshold {
+			cands = append(cands, cand{assocNode(k.Replier()), sup})
 		}
-	}
+		return true
+	})
 	sort.Slice(cands, func(i, j int) bool {
 		if cands[i].sup != cands[j].sup {
 			return cands[i].sup > cands[j].sup
@@ -279,26 +286,28 @@ func (a *Assoc) Consequents(antecedent int) []int32 {
 // marginally higher support, so the next query prefers the shortcut and
 // the preference is reinforced only if it actually produces hits.
 func (a *Assoc) AdoptShortcut(v, w int32) {
-	for _, rules := range a.counts {
-		if sup, ok := rules[v]; ok && sup >= a.cfg.Threshold {
-			if rules[w] < sup {
-				rules[w] = sup * 1.01
-			}
+	hv, hw := assocHost(int(v)), assocHost(int(w))
+	type adoption struct {
+		ante trace.HostID
+		sup  float64
+	}
+	var ups []adoption
+	a.idx.Range(func(k core.PairKey, sup float64) bool {
+		if k.Replier() == hv && sup >= a.cfg.Threshold {
+			ups = append(ups, adoption{k.Source(), sup})
+		}
+		return true
+	})
+	for _, u := range ups {
+		if a.idx.Support(u.ante, hw) < u.sup {
+			a.idx.Set(u.ante, hw, u.sup*1.01)
 		}
 	}
 }
 
 // RuleCount reports the number of active rules (for instrumentation).
 func (a *Assoc) RuleCount() int {
-	n := 0
-	for _, rules := range a.counts {
-		for _, sup := range rules {
-			if sup >= a.cfg.Threshold {
-				n++
-			}
-		}
-	}
-	return n
+	return a.idx.ActiveRules()
 }
 
 // RoutingIndex approximates the compound routing indices of Crespo and

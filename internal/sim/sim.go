@@ -89,7 +89,10 @@ func (r *Result) String() string {
 }
 
 // Run drives policy over src until the source is exhausted or maxTrials
-// tested blocks have been recorded (maxTrials <= 0 means no limit).
+// tested blocks have been recorded (maxTrials <= 0 means no limit). Blocks
+// are handed to the policy as-is — policies fold them into count deltas
+// rather than retaining them (see trace.Source), so streaming sources may
+// reuse block storage between calls.
 func Run(name string, policy core.Policy, src trace.Source, maxTrials int) *Result {
 	start := time.Now()
 	res := &Result{

@@ -1,0 +1,92 @@
+package stream
+
+import "testing"
+
+func TestCountTableAddAndDeleteAtZero(t *testing.T) {
+	tab := NewCountTable[string]()
+	if old, now := tab.Add("a", 2); old != 0 || now != 2 {
+		t.Fatalf("Add = (%v, %v)", old, now)
+	}
+	if old, now := tab.Add("a", 3); old != 2 || now != 5 {
+		t.Fatalf("Add = (%v, %v)", old, now)
+	}
+	if tab.Get("a") != 5 || tab.Len() != 1 {
+		t.Fatalf("get=%v len=%d", tab.Get("a"), tab.Len())
+	}
+	// Integer add/remove is exact in float64: removing the same weight
+	// lands on zero and evicts the entry rather than leaving residue.
+	if old, now := tab.Add("a", -5); old != 5 || now != 0 {
+		t.Fatalf("Add = (%v, %v)", old, now)
+	}
+	if tab.Len() != 0 || tab.Get("a") != 0 {
+		t.Fatalf("entry not evicted: len=%d get=%v", tab.Len(), tab.Get("a"))
+	}
+}
+
+func TestCountTableSet(t *testing.T) {
+	tab := NewCountTable[int]()
+	if old := tab.Set(7, 1.5); old != 0 {
+		t.Fatalf("old = %v", old)
+	}
+	if old := tab.Set(7, 4); old != 1.5 {
+		t.Fatalf("old = %v", old)
+	}
+	if tab.Get(7) != 4 {
+		t.Fatalf("get = %v", tab.Get(7))
+	}
+	if old := tab.Set(7, 0); old != 4 {
+		t.Fatalf("old = %v", old)
+	}
+	if tab.Len() != 0 {
+		t.Fatalf("Set(0) kept entry, len = %d", tab.Len())
+	}
+}
+
+func TestCountTableDecayFloorAndCallback(t *testing.T) {
+	tab := NewCountTable[int]()
+	tab.Add(1, 4) // -> 2, survives
+	tab.Add(2, 1) // -> 0.5, below floor: evicted, reported as 0
+	type change struct{ old, now float64 }
+	got := make(map[int]change)
+	tab.Decay(0.5, 1, func(k int, old, now float64) {
+		got[k] = change{old, now}
+	})
+	if tab.Get(1) != 2 || tab.Len() != 1 {
+		t.Fatalf("after decay: get(1)=%v len=%d", tab.Get(1), tab.Len())
+	}
+	if got[1] != (change{4, 2}) || got[2] != (change{1, 0}) {
+		t.Fatalf("callbacks = %+v", got)
+	}
+}
+
+func TestCountTableResetAndRange(t *testing.T) {
+	tab := NewCountTable[int]()
+	for i := 0; i < 5; i++ {
+		tab.Add(i, float64(i+1))
+	}
+	sum := 0.0
+	tab.Range(func(k int, c float64) bool {
+		sum += c
+		return true
+	})
+	if sum != 15 {
+		t.Fatalf("range sum = %v", sum)
+	}
+	// Early termination.
+	visited := 0
+	tab.Range(func(k int, c float64) bool {
+		visited++
+		return false
+	})
+	if visited != 1 {
+		t.Fatalf("range visited %d after stop", visited)
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("len after reset = %d", tab.Len())
+	}
+	tab.Add(9, 1)
+	if tab.Len() != 1 {
+		t.Fatal("table unusable after reset")
+	}
+}
