@@ -455,6 +455,33 @@ func BenchmarkActorEngineFlood(b *testing.B) {
 	}
 }
 
+// BenchmarkConcurrentRouting measures the learn/serve split end to end:
+// association routers on the goroutine-per-peer engine serve every
+// forwarding decision from their published snapshots while the parallel
+// workload driver keeps several queries in flight. Throughput scales with
+// workers on multi-core hosts; msgs/query and success stay flat because
+// the pre-drawn workload is identical at every worker count.
+func BenchmarkConcurrentRouting(b *testing.B) {
+	rng := stats.NewRNG(49)
+	g := overlay.GnutellaLike(rng, 500)
+	model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+	for _, workers := range []int{1, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			net := peer.NewActorNet(g, model, func(u int) peer.Router {
+				return routing.NewAssoc(routing.DefaultAssocConfig())
+			})
+			defer net.Close()
+			net.Workload(stats.NewRNG(50), 4000, 7, workers)
+			net.Flush()
+			b.ResetTimer()
+			agg := peer.Summarize(net.Workload(stats.NewRNG(51), b.N, 7, workers))
+			b.ReportMetric(agg.AvgMessages, "msgs/query")
+			b.ReportMetric(agg.SuccessRate, "success-rate/op")
+		})
+	}
+}
+
 // BenchmarkMinerComparison compares the two frequent-itemset miners of
 // internal/assoc on the role-tagged pair corpus; they are cross-checked
 // for exact agreement in the assoc tests.

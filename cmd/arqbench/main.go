@@ -23,6 +23,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"arq/internal/adapt"
 	"arq/internal/content"
@@ -44,7 +45,7 @@ var (
 	trials   = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
 	seed     = flag.Uint64("seed", 1, "master seed for all generators")
 	markdown = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section  = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, rewire)")
+	section  = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, rewire)")
 	quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	jsonOut  = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -118,6 +119,7 @@ func main() {
 	run("incremental", incremental)
 	run("recovery", recovery)
 	run("network", network)
+	run("concurrent", concurrent)
 	run("rewire", rewire)
 
 	if *jsonOut != "" {
@@ -553,6 +555,51 @@ func network() {
 			"dup_per_query":  agg.AvgDuplicates,
 			"hit_hops":       agg.AvgHitHops,
 			"nodes_reached":  agg.AvgReached,
+		})
+	}
+	emit(t)
+}
+
+// concurrent measures the learn/serve split on the goroutine-per-peer
+// engine: association routers serve every forwarding decision from their
+// published snapshots while learning from returning hits, and the
+// workload driver issues queries with increasing worker counts. The
+// recorded ns_per_query is wall time per query (a perf key for arqcheck,
+// so machine noise only fails CI on a 10x slowdown); the printed table
+// adds queries/sec for reading.
+func concurrent() {
+	n := 1500
+	warm, measure := 12000, 3000
+	if *quick {
+		n, warm, measure = 400, 3000, 1000
+	}
+	rng := stats.NewRNG(*seed + 400)
+	g := overlay.GnutellaLike(rng, n)
+	model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+	const ttl = 7
+
+	t := metrics.NewTable(fmt.Sprintf("Concurrent routing — %d goroutine peers, assoc routers on published snapshots, %d measured queries", n, measure),
+		"workers", "success", "msgs/query", "hit hops", "queries/sec")
+	for _, workers := range []int{1, 2, 4, 8} {
+		net := peer.NewActorNet(g, model, func(u int) peer.Router {
+			return routing.NewAssoc(routing.DefaultAssocConfig())
+		})
+		net.Workload(stats.NewRNG(*seed+5), warm, ttl, workers)
+		net.Flush()
+		start := time.Now()
+		res := net.Workload(stats.NewRNG(*seed+7), measure, ttl, workers)
+		elapsed := time.Since(start)
+		net.Close()
+
+		agg := peer.Summarize(res)
+		nsq := float64(elapsed.Nanoseconds()) / float64(measure)
+		t.AddRow(workers, agg.SuccessRate, fmt.Sprintf("%.0f", agg.AvgMessages),
+			fmt.Sprintf("%.2f", agg.AvgHitHops), fmt.Sprintf("%.0f", 1e9/nsq))
+		rec("concurrent", fmt.Sprintf("workers=%d", workers), map[string]float64{
+			"workers":        float64(workers),
+			"success_rate":   agg.SuccessRate,
+			"msgs_per_query": agg.AvgMessages,
+			"ns_per_query":   nsq,
 		})
 	}
 	emit(t)

@@ -4,7 +4,7 @@
 //
 //	arqnet -router assoc -nodes 2000 -queries 5000
 //	arqnet -router kwalk -walkers 16
-//	arqnet -router flood -engine actor -parallel 8
+//	arqnet -router assoc -engine actor -parallel 8
 package main
 
 import (
@@ -30,8 +30,8 @@ var (
 	ttl      = flag.Int("ttl", 7, "query TTL")
 	walkers  = flag.Int("walkers", 16, "k for k-random walks")
 	seed     = flag.Uint64("seed", 42, "seed for topology, content, and workload")
-	engine   = flag.String("engine", "sequential", "sequential | actor (flood/kwalk only)")
-	parallel = flag.Int("parallel", 4, "concurrent query issuers on the actor engine")
+	engine   = flag.String("engine", "sequential", "sequential | actor (flood/kwalk/assoc)")
+	parallel = flag.Int("parallel", 4, "concurrent workload workers on the actor engine")
 )
 
 func main() {
@@ -121,9 +121,13 @@ func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, *p
 	}
 }
 
-// runActor exercises the goroutine-per-peer engine with several concurrent
-// query issuers.
+// runActor exercises the goroutine-per-peer engine, driving the workload
+// with -parallel concurrent workers. Learning routers (assoc) warm up on
+// an unmeasured workload first — routing served from published snapshots
+// while the warm-up learns, exactly the learn/serve split in deployment.
 func runActor(g *overlay.Graph, model *content.Model) {
+	queryTTL := *ttl
+	needsWarm := false
 	var factory func(u int) peer.Router
 	switch *router {
 	case "flood":
@@ -136,38 +140,24 @@ func runActor(g *overlay.Graph, model *content.Model) {
 			defer mu.Unlock()
 			return &routing.RandomWalk{K: *walkers, RNG: wrng.Split()}
 		}
+		queryTTL = 1024
+	case "assoc":
+		factory = func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) }
+		needsWarm = true
 	default:
-		fmt.Fprintf(os.Stderr, "arqnet: actor engine supports flood and kwalk, not %q\n", *router)
+		fmt.Fprintf(os.Stderr, "arqnet: actor engine supports flood, kwalk, and assoc, not %q\n", *router)
 		os.Exit(2)
 	}
 	net := peer.NewActorNet(g, model, factory)
 	defer net.Close()
 
-	queryTTL := *ttl
-	if *router == "kwalk" {
-		queryTTL = 1024
+	if needsWarm {
+		net.Workload(stats.NewRNG(*seed+2), *warm, queryTTL, *parallel)
+		net.Flush()
 	}
-	perIssuer := *nq / *parallel
-	results := make([][]peer.Stats, *parallel)
-	var wg sync.WaitGroup
-	for i := 0; i < *parallel; i++ {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			r := stats.NewRNG(*seed + 100 + uint64(i))
-			for j := 0; j < perIssuer; j++ {
-				origin := r.Intn(g.N())
-				results[i] = append(results[i], net.RunQuery(origin, model.DrawQuery(r, origin), queryTTL))
-			}
-		}(i)
-	}
-	wg.Wait()
-	var all []peer.Stats
-	for _, rs := range results {
-		all = append(all, rs...)
-	}
+	all := net.Workload(stats.NewRNG(*seed+1), *nq, queryTTL, *parallel)
 	a := peer.Summarize(all)
-	fmt.Printf("actor engine: %d nodes, %d goroutine peers, %d concurrent issuers\n",
+	fmt.Printf("actor engine: %d nodes, %d goroutine peers, %d workload workers\n",
 		g.N(), g.N(), *parallel)
 	fmt.Printf("%s: success=%.3f msgs/query=%.0f hit-hops=%.2f\n",
 		*router, a.SuccessRate, a.AvgMessages, a.AvgHitHops)

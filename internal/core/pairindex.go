@@ -55,10 +55,14 @@ type PairIndex struct {
 	// Decay-mode bookkeeping: threshold > 0 enables it. activeBySrc
 	// tracks, per antecedent, how many consequents are at or above the
 	// threshold, so Covers is a single lookup instead of an inner-map
-	// scan; active is the total active-rule count.
+	// scan; active is the total active-rule count. crossings counts every
+	// activation-set change monotonically, so a snapshot publisher can
+	// detect "the rule set itself changed" with one comparison
+	// (PublishOnChange).
 	threshold   float64
 	activeBySrc map[trace.HostID]int
 	active      int
+	crossings   uint64
 }
 
 // NewPairIndex returns a windowed-mode engine (exact delta counting).
@@ -90,6 +94,7 @@ func (x *PairIndex) track(k PairKey, old, now float64) {
 		return
 	}
 	src := k.Source()
+	x.crossings++
 	if is {
 		x.active++
 		x.activeBySrc[src]++
@@ -165,6 +170,9 @@ func (x *PairIndex) Decay(factor, floor float64) {
 func (x *PairIndex) Reset() {
 	x.counts.Reset()
 	if x.threshold > 0 {
+		if x.active > 0 {
+			x.crossings++ // the active-rule set changed (to empty)
+		}
 		clear(x.activeBySrc)
 		x.active = 0
 	}
@@ -176,6 +184,11 @@ func (x *PairIndex) Pairs() int { return x.counts.Len() }
 // ActiveRules returns the number of pairs at or above the activation
 // threshold (decay mode only; 0 in windowed mode).
 func (x *PairIndex) ActiveRules() int { return x.active }
+
+// Crossings returns the monotone count of activation-threshold crossings
+// (in either direction) the index has seen. Two equal readings bracket a
+// span in which the active-rule set did not change.
+func (x *PairIndex) Crossings() uint64 { return x.crossings }
 
 // Covers implements RuleView in decay mode: some consequent for src is at
 // or above the activation threshold.

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"arq/internal/obsv"
+	"arq/internal/trace"
+)
+
+// This file is the serve plane of the rule lifecycle: a single-writer
+// miner owns a PairIndex (the write plane) and a Publisher materializes
+// its state into immutable, versioned RuleSnapshots exposed through an
+// atomic.Pointer — lock-free for any number of concurrent readers.
+// Routing decisions vastly outnumber rule updates in deployment (the
+// read-dominant assumption of the paper's online router and of the
+// related queries-routing simulators), so the read path must never
+// contend with the write path: readers only ever load a pointer, and a
+// publish is one pointer swap.
+
+// Observability instruments for snapshot publication, aggregated across
+// every publisher in the process (one per deployed node). The counter
+// accumulates; the gauges are last-writer-wins — a cheap liveness signal
+// (is anything publishing, how stale, how big), not a per-node breakdown.
+var (
+	mPublishes   = obsv.GetCounter("core.publish.count")
+	gPublishVer  = obsv.GetGauge("core.publish.version")
+	gPublishSize = obsv.GetGauge("core.publish.rules")
+	gPublishLag  = obsv.GetGauge("core.publish.lag_obs")
+)
+
+// RuleSnapshot is one published generation of a node's routing knowledge:
+// the pairs at or above the activation threshold at publish time, with
+// their decayed supports and per-antecedent consequent lists pre-sorted by
+// descending support (HostID ascending as the deterministic tiebreak).
+// A snapshot is immutable once published and implements RuleView, so the
+// block evaluator and the online router read rules through one contract.
+type RuleSnapshot struct {
+	version uint64
+	support map[PairKey]float64
+	conseq  map[trace.HostID][]trace.HostID
+}
+
+// emptySnapshot is what a Publisher serves before its first publish.
+var emptySnapshot = &RuleSnapshot{
+	support: map[PairKey]float64{},
+	conseq:  map[trace.HostID][]trace.HostID{},
+}
+
+// Version returns the snapshot's publication sequence number (0 for the
+// pre-first-publish empty snapshot).
+func (s *RuleSnapshot) Version() uint64 { return s.version }
+
+// Len returns the number of rules in the snapshot.
+func (s *RuleSnapshot) Len() int { return len(s.support) }
+
+// Support returns the rule's support at publish time, or 0 if the pair was
+// below the activation threshold.
+func (s *RuleSnapshot) Support(src, rep trace.HostID) float64 {
+	return s.support[PackPair(src, rep)]
+}
+
+// Covers implements RuleView: some rule has src as its antecedent.
+func (s *RuleSnapshot) Covers(src trace.HostID) bool {
+	return len(s.conseq[src]) > 0
+}
+
+// Matches implements RuleView: {src} -> {rep} was an active rule at
+// publish time.
+func (s *RuleSnapshot) Matches(src, rep trace.HostID) bool {
+	return s.support[PackPair(src, rep)] > 0
+}
+
+// Consequents returns up to k consequent hosts for queries arriving from
+// src, ordered by descending support with HostID as the tiebreak. k <= 0
+// returns all of them. The ordering is precomputed at publish time, so
+// this is a slice copy.
+func (s *RuleSnapshot) Consequents(src trace.HostID, k int) []trace.HostID {
+	list := s.conseq[src]
+	if len(list) == 0 {
+		return nil
+	}
+	if k > 0 && k < len(list) {
+		list = list[:k]
+	}
+	out := make([]trace.HostID, len(list))
+	copy(out, list)
+	return out
+}
+
+// Range calls f for every rule in the snapshot until f returns false.
+// Iteration order is unspecified.
+func (s *RuleSnapshot) Range(f func(k PairKey, support float64) bool) {
+	for k, v := range s.support {
+		if !f(k, v) {
+			return
+		}
+	}
+}
+
+// PublishPolicy selects when a Publisher turns accumulated observations
+// into a fresh snapshot.
+type PublishPolicy int
+
+const (
+	// PublishSync publishes after every observation. Readers always see
+	// the newest rule state, so a single-goroutine deployment (the
+	// sequential peer.Engine) reproduces direct-index routing decisions
+	// exactly. Each observation pays a snapshot build.
+	PublishSync PublishPolicy = iota
+	// PublishOnChange publishes only when some pair crossed the
+	// activation threshold since the last publish — the rule *set*
+	// changed, not merely supports within it. Reordering among active
+	// rules stays unpublished until the next crossing, by design.
+	PublishOnChange
+	// PublishEpoch publishes every Epoch observations regardless of what
+	// changed, bounding staleness by a fixed observation budget.
+	PublishEpoch
+)
+
+// PublisherConfig parameterizes a Publisher.
+type PublisherConfig struct {
+	// Policy selects the publication trigger (default PublishSync).
+	Policy PublishPolicy
+	// Epoch is the observations-per-publish budget for PublishEpoch
+	// (default 64; ignored by the other policies).
+	Epoch int
+	// MinSupport is the support a pair needs to enter a snapshot. 0 uses
+	// the index's own activation threshold (decay-mode indexes).
+	MinSupport float64
+}
+
+// Publisher ties a single-writer PairIndex to a lock-free stream of
+// RuleSnapshots. All methods except View must be called from the one
+// goroutine (or critical section) that owns the index; View may be called
+// from any number of goroutines concurrently and never blocks.
+type Publisher struct {
+	idx *PairIndex
+	cfg PublisherConfig
+	cur atomic.Pointer[RuleSnapshot]
+
+	// Writer-owned bookkeeping.
+	version  uint64
+	obsSince int
+	crossAt  uint64
+}
+
+// NewPublisher wraps idx. The publisher starts serving the empty
+// version-0 snapshot; nothing is read from idx until the first publish.
+func NewPublisher(idx *PairIndex, cfg PublisherConfig) *Publisher {
+	if idx == nil {
+		panic("core: NewPublisher requires an index")
+	}
+	if cfg.MinSupport <= 0 {
+		cfg.MinSupport = idx.threshold
+	}
+	if cfg.MinSupport <= 0 {
+		panic("core: NewPublisher requires MinSupport (or a decay-mode index)")
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 64
+	}
+	p := &Publisher{idx: idx, cfg: cfg}
+	p.cur.Store(emptySnapshot)
+	return p
+}
+
+// View returns the current published snapshot: one atomic pointer load,
+// safe from any goroutine, never nil.
+func (p *Publisher) View() *RuleSnapshot {
+	return p.cur.Load()
+}
+
+// Version returns the sequence number of the current published snapshot.
+func (p *Publisher) Version() uint64 {
+	return p.cur.Load().version
+}
+
+// Observe records that the index absorbed one observation and publishes
+// if the policy calls for it. Writer-side only.
+func (p *Publisher) Observe() {
+	p.obsSince++
+	switch p.cfg.Policy {
+	case PublishSync:
+		p.Publish()
+		return
+	case PublishOnChange:
+		if p.idx.Crossings() != p.crossAt {
+			p.Publish()
+			return
+		}
+	case PublishEpoch:
+		if p.obsSince >= p.cfg.Epoch {
+			p.Publish()
+			return
+		}
+	}
+	gPublishLag.Set(int64(p.obsSince))
+}
+
+// Publish materializes the index's current rules as a new immutable
+// snapshot and swaps it in. Writer-side only; returns the new snapshot.
+func (p *Publisher) Publish() *RuleSnapshot {
+	p.version++
+	s := &RuleSnapshot{
+		version: p.version,
+		support: make(map[PairKey]float64),
+		conseq:  make(map[trace.HostID][]trace.HostID),
+	}
+	p.idx.Range(func(k PairKey, v float64) bool {
+		if v >= p.cfg.MinSupport {
+			s.support[k] = v
+			s.conseq[k.Source()] = append(s.conseq[k.Source()], k.Replier())
+		}
+		return true
+	})
+	for src, list := range s.conseq {
+		src := src
+		sort.Slice(list, func(i, j int) bool {
+			si, sj := s.support[PackPair(src, list[i])], s.support[PackPair(src, list[j])]
+			if si != sj {
+				return si > sj
+			}
+			return list[i] < list[j]
+		})
+	}
+	p.cur.Store(s)
+	p.obsSince = 0
+	p.crossAt = p.idx.Crossings()
+	mPublishes.Inc()
+	gPublishVer.Set(int64(s.version))
+	gPublishSize.Set(int64(len(s.support)))
+	gPublishLag.Set(0)
+	return s
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"arq/internal/trace"
+)
+
+// observe mimics one learner step: fold the pair in, then let the
+// publisher apply its policy.
+func observe(idx *PairIndex, p *Publisher, src, rep trace.HostID) {
+	idx.AddPair(src, rep)
+	p.Observe()
+}
+
+func TestPublishSyncTracksEveryObservation(t *testing.T) {
+	idx := NewDecayIndex(2)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishSync})
+	if v := p.View(); v.Version() != 0 || v.Len() != 0 {
+		t.Fatalf("initial view = v%d len %d", v.Version(), v.Len())
+	}
+	observe(idx, p, 1, 2)
+	if v := p.View(); v.Version() != 1 || v.Len() != 0 {
+		t.Fatalf("after 1 obs: v%d len %d (support below threshold)", v.Version(), v.Len())
+	}
+	observe(idx, p, 1, 2)
+	v := p.View()
+	if v.Version() != 2 || v.Len() != 1 {
+		t.Fatalf("after 2 obs: v%d len %d", v.Version(), v.Len())
+	}
+	if !v.Covers(1) || !v.Matches(1, 2) || v.Support(1, 2) != 2 {
+		t.Fatalf("snapshot misses the {1}->{2} rule: %+v", v)
+	}
+	if v.Covers(2) || v.Matches(2, 1) || v.Support(1, 3) != 0 {
+		t.Fatal("snapshot reports rules that were never mined")
+	}
+}
+
+func TestPublishedSnapshotIsImmutable(t *testing.T) {
+	idx := NewDecayIndex(2)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishSync})
+	observe(idx, p, 1, 2)
+	observe(idx, p, 1, 2)
+	old := p.View()
+	for i := 0; i < 5; i++ {
+		observe(idx, p, 1, 3)
+		observe(idx, p, 4, 5)
+	}
+	if old.Len() != 1 || old.Support(1, 2) != 2 || old.Covers(4) {
+		t.Fatalf("earlier snapshot changed under later publishes: %+v", old)
+	}
+	if now := p.View(); now.Len() != 3 {
+		t.Fatalf("current snapshot len = %d, want 3", now.Len())
+	}
+}
+
+func TestPublishOnChangePublishesOnlyOnCrossings(t *testing.T) {
+	idx := NewDecayIndex(2)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishOnChange})
+	observe(idx, p, 1, 2) // support 1: no rule yet, no crossing
+	if got := p.Version(); got != 0 {
+		t.Fatalf("version after sub-threshold obs = %d", got)
+	}
+	observe(idx, p, 1, 2) // crosses the threshold
+	if got := p.Version(); got != 1 {
+		t.Fatalf("version after crossing = %d", got)
+	}
+	// Supports move but the active set does not: no publish.
+	observe(idx, p, 1, 2)
+	observe(idx, p, 1, 2)
+	if got := p.Version(); got != 1 {
+		t.Fatalf("version after non-crossing obs = %d", got)
+	}
+	// Decay below the threshold is a crossing too.
+	idx.Decay(0.1, 0.05)
+	p.Observe()
+	if got, v := p.Version(), p.View(); got != 2 || v.Len() != 0 {
+		t.Fatalf("after decay crossing: version %d, len %d", got, v.Len())
+	}
+}
+
+func TestPublishEpochBoundsStaleness(t *testing.T) {
+	idx := NewDecayIndex(1)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishEpoch, Epoch: 4})
+	for i := 0; i < 3; i++ {
+		observe(idx, p, 1, trace.HostID(10+i))
+	}
+	if got := p.Version(); got != 0 {
+		t.Fatalf("published before the epoch filled: v%d", got)
+	}
+	observe(idx, p, 1, 13)
+	v := p.View()
+	if v.Version() != 1 || v.Len() != 4 {
+		t.Fatalf("after epoch: v%d len %d", v.Version(), v.Len())
+	}
+	// The next epoch starts counting from zero again.
+	observe(idx, p, 1, 14)
+	if got := p.Version(); got != 1 {
+		t.Fatalf("epoch counter not reset: v%d", got)
+	}
+}
+
+func TestSnapshotConsequentOrdering(t *testing.T) {
+	idx := NewDecayIndex(1)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishEpoch, Epoch: 1 << 30})
+	idx.Set(1, 7, 5)
+	idx.Set(1, 3, 5) // ties break on ascending HostID
+	idx.Set(1, 9, 8)
+	idx.Set(1, 4, 0.5) // below MinSupport: excluded
+	p.Publish()
+	got := p.View().Consequents(1, 0)
+	want := []trace.HostID{9, 3, 7}
+	if len(got) != len(want) {
+		t.Fatalf("Consequents = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Consequents = %v, want %v", got, want)
+		}
+	}
+	if top := p.View().Consequents(1, 2); len(top) != 2 || top[0] != 9 || top[1] != 3 {
+		t.Fatalf("Consequents(k=2) = %v", top)
+	}
+}
+
+func TestPublisherExplicitMinSupport(t *testing.T) {
+	idx := NewPairIndex() // windowed mode: no intrinsic threshold
+	p := NewPublisher(idx, PublisherConfig{MinSupport: 3})
+	idx.AddBlock(trace.Block{
+		{Source: 1, Replier: 2}, {Source: 1, Replier: 2}, {Source: 1, Replier: 2},
+		{Source: 1, Replier: 5},
+	})
+	v := p.Publish()
+	if v.Len() != 1 || v.Support(1, 2) != 3 || v.Matches(1, 5) {
+		t.Fatalf("snapshot = len %d, support(1,2)=%v", v.Len(), v.Support(1, 2))
+	}
+}
+
+// TestPublisherConcurrentReaders drives one writer (observe + publish)
+// against many lock-free readers; run under -race this pins the
+// write-plane/read-plane memory contract.
+func TestPublisherConcurrentReaders(t *testing.T) {
+	idx := NewDecayIndex(2)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishEpoch, Epoch: 8})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var last uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				v := p.View()
+				if v.Version() < last {
+					t.Error("snapshot version went backwards")
+					return
+				}
+				last = v.Version()
+				v.Range(func(k PairKey, sup float64) bool {
+					if sup < 2 {
+						t.Errorf("snapshot holds sub-threshold rule %v=%v", k, sup)
+						return false
+					}
+					return true
+				})
+				v.Consequents(1, 2)
+				v.Covers(3)
+			}
+		}()
+	}
+	for i := 0; i < 5000; i++ {
+		observe(idx, p, trace.HostID(1+i%5), trace.HostID(1+(i*7)%11))
+		if i%97 == 0 {
+			idx.Decay(0.5, 0.25)
+			p.Observe()
+		}
+	}
+	close(done)
+	wg.Wait()
+}

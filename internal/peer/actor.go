@@ -6,6 +6,7 @@ import (
 
 	"arq/internal/content"
 	"arq/internal/overlay"
+	"arq/internal/stats"
 	"arq/internal/trace"
 )
 
@@ -224,6 +225,52 @@ func recordFirstHit(q *actorQuery, hops int) {
 			return
 		}
 	}
+}
+
+// Workload drives nQueries random queries through the network with up to
+// workers concurrent in flight, returning per-query stats in issue order.
+// Origins and categories are pre-drawn sequentially from rng — the exact
+// draw sequence of Engine.Workload — so a parallel run queries the same
+// (origin, category) list as a sequential one; only the interleaving of
+// their messages (and hence what learning routers observe when) differs.
+// workers <= 1 degenerates to the sequential driver.
+func (a *ActorNet) Workload(rng *stats.RNG, nQueries, ttl, workers int) []Stats {
+	type job struct {
+		origin int
+		cat    trace.InterestID
+	}
+	jobs := make([]job, nQueries)
+	for i := range jobs {
+		jobs[i].origin = rng.Intn(a.g.N())
+		jobs[i].cat = a.content.DrawQuery(rng, jobs[i].origin)
+	}
+	out := make([]Stats, nQueries)
+	if workers <= 1 {
+		for i, j := range jobs {
+			out[i] = a.RunQuery(j.origin, j.cat, ttl)
+		}
+		return out
+	}
+	if workers > nQueries {
+		workers = nQueries
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				out[i] = a.RunQuery(jobs[i].origin, jobs[i].cat, ttl)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
 }
 
 // RunQuery injects a query and blocks until the network is quiescent for

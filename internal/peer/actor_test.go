@@ -120,3 +120,57 @@ func TestActorNoContentQuiesces(t *testing.T) {
 		t.Fatalf("stats = %+v", st)
 	}
 }
+
+// TestActorWorkloadParallelMatchesSequential pins the parallel driver's
+// determinism contract: workers only change message interleaving, not
+// which queries run, so every order-independent per-query stat matches
+// the sequential run exactly (flood with TTL >= diameter).
+func TestActorWorkloadParallelMatchesSequential(t *testing.T) {
+	rng := stats.NewRNG(31)
+	g := overlay.Random(rng, 250, 5)
+	m := content.Build(rng.Split(), 250, content.DefaultConfig())
+
+	run := func(workers int) []Stats {
+		a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+		defer a.Close()
+		return a.Workload(stats.NewRNG(77), 60, 64, workers)
+	}
+	seq := run(1)
+	par := run(4)
+	if len(seq) != 60 || len(par) != 60 {
+		t.Fatalf("lengths %d, %d", len(seq), len(par))
+	}
+	for i := range seq {
+		s, p := seq[i], par[i]
+		if s.Found != p.Found || s.Hits != p.Hits ||
+			s.QueryMessages != p.QueryMessages ||
+			s.Duplicates != p.Duplicates ||
+			s.NodesReached != p.NodesReached {
+			t.Fatalf("query %d: sequential %+v vs parallel %+v", i, s, p)
+		}
+	}
+}
+
+// TestActorWorkloadDrawsMatchEngine pins that ActorNet.Workload draws the
+// same (origin, category) sequence as Engine.Workload for a given rng
+// seed, by comparing the order-independent flood stats query by query.
+func TestActorWorkloadDrawsMatchEngine(t *testing.T) {
+	rng := stats.NewRNG(32)
+	g := overlay.Random(rng, 200, 5)
+	m := content.Build(rng.Split(), 200, content.DefaultConfig())
+
+	e := floodEngine(g, m)
+	es := e.Workload(stats.NewRNG(9), 40, 64)
+
+	a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+	defer a.Close()
+	as := a.Workload(stats.NewRNG(9), 40, 64, 4)
+
+	for i := range es {
+		if es[i].Found != as[i].Found || es[i].Hits != as[i].Hits ||
+			es[i].QueryMessages != as[i].QueryMessages ||
+			es[i].NodesReached != as[i].NodesReached {
+			t.Fatalf("query %d: engine %+v vs actor %+v", i, es[i], as[i])
+		}
+	}
+}

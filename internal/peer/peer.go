@@ -69,9 +69,13 @@ type Meta struct {
 const NoUpstream = -1
 
 // Router decides, per node, which neighbors a query is forwarded to.
-// Implementations may keep per-node learning state; the engines call a
-// given node's router from one goroutine at a time, but distinct nodes'
-// routers may be invoked concurrently by ActorNet.
+// Implementations may keep per-node learning state. The engines call a
+// given node's router from one goroutine at a time — in ActorNet each
+// node's goroutine is the sole caller, even with many queries in flight —
+// but distinct nodes' routers run concurrently, so any state shared
+// across routers (a common rule table, a snapshot publisher) must make
+// Route safe for concurrent readers and serialize learning internally,
+// as routing.Assoc does via its learn/serve split.
 type Router interface {
 	// Name identifies the routing strategy.
 	Name() string

@@ -1,0 +1,225 @@
+package routing
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"arq/internal/core"
+	"arq/internal/peer"
+	"arq/internal/stats"
+)
+
+// TestAssocConcurrentReaders drives the write plane (ObserveHit,
+// AdoptShortcut) from one goroutine while several readers hammer the
+// serve plane (Route, Consequents, RuleCount). Under -race this pins the
+// learn/serve split's memory contract for both deferred publish
+// policies; the assertions check that every routing decision is
+// internally consistent regardless of which snapshot it was served from.
+func TestAssocConcurrentReaders(t *testing.T) {
+	policies := map[string]core.PublishPolicy{
+		"onchange": core.PublishOnChange,
+		"epoch":    core.PublishEpoch,
+	}
+	for name, policy := range policies {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultAssocConfig()
+			cfg.Publish = policy
+			cfg.PublishEvery = 16
+			cfg.DecayEvery = 32
+			a := NewAssoc(cfg)
+
+			const nodes = 10
+			nbrs := make([]int32, nodes)
+			for i := range nbrs {
+				nbrs[i] = int32(i)
+			}
+			done := make(chan struct{})
+			var wg sync.WaitGroup
+			for r := 0; r < 4; r++ {
+				wg.Add(1)
+				go func(r int) {
+					defer wg.Done()
+					for i := 0; ; i++ {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						from := i%(nodes+1) - 1 // NoUpstream through nodes-1
+						out := a.Route(0, from, peer.Meta{}, nbrs)
+						if len(out) > len(nbrs) {
+							t.Errorf("Route returned %d of %d neighbors", len(out), len(nbrs))
+							return
+						}
+						seen := make(map[int32]bool, len(out))
+						for _, v := range out {
+							if v < 0 || int(v) >= nodes || int(v) == from || seen[v] {
+								t.Errorf("Route(from=%d) = %v: bad neighbor %d", from, out, v)
+								return
+							}
+							seen[v] = true
+						}
+						if cs := a.Consequents(from); len(cs) > 0 && a.RuleCount() == 0 {
+							// Consequents and RuleCount may come from
+							// different snapshots; both must be
+							// individually well-formed.
+							for _, c := range cs {
+								if c < 0 || int(c) >= nodes {
+									t.Errorf("Consequents(%d) = %v", from, cs)
+									return
+								}
+							}
+						}
+					}
+				}(r)
+			}
+
+			rng := stats.NewRNG(7)
+			for i := 0; i < 30000; i++ {
+				u := rng.Intn(nodes)
+				from := rng.Intn(nodes+1) - 1
+				via := rng.Intn(nodes)
+				a.ObserveHit(u, from, peer.Meta{}, via)
+				if i%1024 == 1023 {
+					v, w := int32(rng.Intn(nodes)), int32(rng.Intn(nodes))
+					if v != w {
+						a.AdoptShortcut(v, w)
+					}
+				}
+			}
+			close(done)
+			wg.Wait()
+		})
+	}
+}
+
+// TestAssocEpochPublishStaleness pins the epoch policy's contract: the
+// serve plane keeps routing on the old snapshot until the observation
+// budget fills, then one publish makes the learned rules visible.
+func TestAssocEpochPublishStaleness(t *testing.T) {
+	cfg := AssocConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 1 << 20,
+		Publish: core.PublishEpoch, PublishEvery: 4}
+	a := NewAssoc(cfg)
+	nbrs := []int32{0, 1, 2}
+
+	a.ObserveHit(9, 0, peer.Meta{}, 1)
+	a.ObserveHit(9, 0, peer.Meta{}, 1)
+	// The learner has a {0}->{1} rule at support 2, but nothing is
+	// published yet: the router still floods.
+	if got := a.Route(9, 0, peer.Meta{}, nbrs); len(got) != 2 {
+		t.Fatalf("pre-publish Route = %v, want flood to [1 2]", got)
+	}
+	if a.RuleCount() != 0 || a.SnapshotVersion() != 0 {
+		t.Fatalf("pre-publish rules=%d version=%d", a.RuleCount(), a.SnapshotVersion())
+	}
+	a.ObserveHit(9, 0, peer.Meta{}, 1)
+	a.ObserveHit(9, 0, peer.Meta{}, 1) // 4th observation fills the epoch
+	if a.SnapshotVersion() != 1 || a.RuleCount() != 1 {
+		t.Fatalf("post-epoch rules=%d version=%d", a.RuleCount(), a.SnapshotVersion())
+	}
+	if got := a.Route(9, 0, peer.Meta{}, nbrs); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("post-publish Route = %v, want [1]", got)
+	}
+}
+
+// TestAssocFloorBoundsMemory pins the configurable eviction floor: a
+// floor near the threshold evicts slowly-reinforced pairs before they can
+// accumulate rule-level support, while the default floor lets them build.
+func TestAssocFloorBoundsMemory(t *testing.T) {
+	route := func(floor float64) []int32 {
+		a := NewAssoc(AssocConfig{TopK: 1, Threshold: 2, Decay: 0.9, DecayEvery: 1, Floor: floor})
+		for i := 0; i < 3; i++ {
+			a.ObserveHit(9, 0, peer.Meta{}, 1)
+		}
+		return a.Route(9, 0, peer.Meta{}, []int32{0, 1, 2})
+	}
+	// Default floor: supports 0.9, 1.71, 2.44 — a rule forms.
+	if got := route(0); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("default floor Route = %v, want [1]", got)
+	}
+	// Floor 1.8: every decayed support (0.9) is evicted before the next
+	// hit arrives, so no rule ever forms and the router floods.
+	if got := route(1.8); len(got) != 2 {
+		t.Fatalf("high floor Route = %v, want flood to [1 2]", got)
+	}
+	// Invalid floors (>= threshold) fall back to a sane default instead
+	// of silently evicting active rules.
+	if got := route(5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("clamped floor Route = %v, want [1]", got)
+	}
+}
+
+// TestAssocAdoptShortcutVisibleToConcurrentReaders checks that a shortcut
+// adoption publishes immediately even under a deferred policy: readers
+// see the adopted consequent without waiting for the next epoch.
+func TestAssocAdoptShortcutVisibleToConcurrentReaders(t *testing.T) {
+	cfg := DefaultAssocConfig()
+	cfg.Publish = core.PublishEpoch
+	cfg.PublishEvery = 8
+	a := NewAssoc(cfg)
+	for i := 0; i < 8; i++ { // exactly one epoch: {0}->{1} published
+		a.ObserveHit(9, 0, peer.Meta{}, 1)
+	}
+	if a.RuleCount() != 1 {
+		t.Fatalf("rules after epoch = %d", a.RuleCount())
+	}
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.Consequents(0)
+		}()
+	}
+	a.AdoptShortcut(1, 2)
+	wg.Wait()
+	cs := a.Consequents(0)
+	if fmt.Sprint(cs) != "[2 1]" {
+		t.Fatalf("Consequents after adoption = %v, want [2 1]", cs)
+	}
+}
+
+// TestAssocActorNetParallelWorkload drives association routers on the
+// concurrent actor network with a parallel workload — the full learn/serve
+// pipeline under real message-passing concurrency. Run under -race this is
+// the end-to-end stress test for the split; the assertions check the
+// workload completed and the routers actually learned rules.
+func TestAssocActorNetParallelWorkload(t *testing.T) {
+	g, m := netFixture(33, 300)
+	for name, policy := range map[string]core.PublishPolicy{
+		"sync":     core.PublishSync,
+		"onchange": core.PublishOnChange,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultAssocConfig()
+			cfg.Publish = policy
+			routers := make([]*Assoc, g.N())
+			a := peer.NewActorNet(g, m, func(u int) peer.Router {
+				routers[u] = NewAssoc(cfg)
+				return routers[u]
+			})
+			defer a.Close()
+
+			res := a.Workload(stats.NewRNG(5), 400, 6, 8)
+			if len(res) != 400 {
+				t.Fatalf("workload returned %d stats", len(res))
+			}
+			found, rules := 0, 0
+			for _, st := range res {
+				if st.Found {
+					found++
+				}
+			}
+			for _, r := range routers {
+				rules += r.RuleCount()
+			}
+			if found == 0 {
+				t.Fatal("no query succeeded")
+			}
+			if rules == 0 {
+				t.Fatal("no router learned a rule from the workload")
+			}
+		})
+	}
+}

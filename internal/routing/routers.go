@@ -9,6 +9,7 @@ package routing
 
 import (
 	"sort"
+	"sync"
 
 	"arq/internal/core"
 	"arq/internal/obsv"
@@ -115,18 +116,36 @@ type AssocConfig struct {
 	// rules track the network's drift (the §VI incremental maintenance).
 	Decay      float64
 	DecayEvery int
+	// Floor is the decayed support below which a pair is evicted from the
+	// learner's table entirely, bounding each node's rule memory. It must
+	// stay below Threshold; 0 selects the default 0.25.
+	Floor float64
 	// Strict selects the paper's deployment: a node with no rule for the
 	// query's upstream drops it, and the *origin* reverts the whole query
 	// to flooding if no hits come back (use AssocTwoPhase). Non-strict
 	// nodes locally fall back to flooding instead.
 	Strict bool
+	// Publish selects when the learn plane publishes a fresh routing
+	// snapshot for the serve plane (see core.PublishPolicy). The zero
+	// value is core.PublishSync: every observation publishes, so a
+	// sequential deployment routes on fully current rules — the exact
+	// pre-split behaviour. Concurrent deployments typically choose
+	// core.PublishOnChange or core.PublishEpoch to amortize snapshot
+	// builds over many observations.
+	Publish core.PublishPolicy
+	// PublishEvery is the epoch length for core.PublishEpoch (default 64).
+	PublishEvery int
 }
 
 // DefaultAssocConfig returns the deployment parameters used by the network
-// experiments.
+// experiments: synchronous publication (exact sequential semantics) with
+// the default memory floor.
 func DefaultAssocConfig() AssocConfig {
-	return AssocConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 64}
+	return AssocConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 64, Floor: defaultAssocFloor}
 }
+
+// defaultAssocFloor is the default AssocConfig.Floor.
+const defaultAssocFloor = 0.25
 
 // Assoc is the paper's contribution deployed as an online router: the node
 // mines {upstream neighbor} -> {neighbor that returned hits} rules from
@@ -135,18 +154,44 @@ func DefaultAssocConfig() AssocConfig {
 // (§III-B: "if hits aren't found ... the node can still revert to
 // flooding"). Queries originated locally use a distinct antecedent slot.
 //
-// The support table is the decay-mode core.PairIndex — the same engine the
-// simulator's maintenance policies run on — so the deployed router and the
-// trace-driven evaluation share one set of rule semantics.
+// The rule lifecycle is split into two planes. The write plane
+// (assocLearner) owns the decay-mode core.PairIndex — the same engine the
+// simulator's maintenance policies run on — and consumes hit observations
+// under a mutex. The read plane is Route/Consequents/RuleCount serving
+// lock-free from the immutable snapshots the learner publishes through a
+// core.Publisher, so any number of goroutines can route concurrently
+// while learning proceeds — reads never contend with writes.
 type Assoc struct {
+	cfg   AssocConfig
+	pub   *core.Publisher
+	learn assocLearner
+}
+
+// assocLearner is the single-writer plane of the association router: it
+// owns the support index, applies hit observations and periodic decay,
+// and feeds the publisher. The mutex serializes writers; readers never
+// take it.
+type assocLearner struct {
+	mu   sync.Mutex
 	cfg  AssocConfig
 	idx  *core.PairIndex
+	pub  *core.Publisher
 	seen int
 }
 
-// assocFloor is the decayed support below which a pair is dropped from the
-// router's table to bound memory.
-const assocFloor = 0.25
+// observeHit folds one {ante} -> {via} observation into the index,
+// decaying at the configured cadence, and lets the publisher apply its
+// policy.
+func (l *assocLearner) observeHit(ante, via trace.HostID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.idx.AddPair(ante, via)
+	l.seen++
+	if l.seen%l.cfg.DecayEvery == 0 {
+		l.idx.Decay(l.cfg.Decay, l.cfg.Floor)
+	}
+	l.pub.Observe()
+}
 
 // assocHost maps a simulator node id into the engine's HostID key space.
 // Node ids are 0-based, so they shift up by one; peer.NoUpstream (-1), the
@@ -175,7 +220,22 @@ func NewAssoc(cfg AssocConfig) *Assoc {
 	if cfg.DecayEvery <= 0 {
 		cfg.DecayEvery = 64
 	}
-	return &Assoc{cfg: cfg, idx: core.NewDecayIndex(cfg.Threshold)}
+	if cfg.Floor <= 0 || cfg.Floor >= cfg.Threshold {
+		cfg.Floor = defaultAssocFloor
+		if cfg.Floor >= cfg.Threshold {
+			cfg.Floor = cfg.Threshold / 8
+		}
+	}
+	if cfg.PublishEvery <= 0 {
+		cfg.PublishEvery = 64
+	}
+	idx := core.NewDecayIndex(cfg.Threshold)
+	pub := core.NewPublisher(idx, core.PublisherConfig{
+		Policy: cfg.Publish, Epoch: cfg.PublishEvery,
+	})
+	a := &Assoc{cfg: cfg, pub: pub}
+	a.learn = assocLearner{cfg: cfg, idx: idx, pub: pub}
+	return a
 }
 
 // Name implements peer.Router.
@@ -184,13 +244,17 @@ func (a *Assoc) Name() string { return "assoc" }
 // Walk implements peer.Router.
 func (a *Assoc) Walk() bool { return false }
 
-// Route implements peer.Router.
+// Route implements peer.Router. It is the serve plane: decisions come
+// from the currently published snapshot via one atomic load, so Route is
+// safe for any number of concurrent callers and never contends with
+// learning.
 func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 	if q.FloodPhase {
 		// Origin-level fallback reissue: behave as a flooder.
 		mAssocFloodPhase.Inc()
 		return Flood{}.Route(u, from, q, nbrs)
 	}
+	view := a.pub.View()
 	ante := assocHost(from)
 	type cand struct {
 		v   int32
@@ -201,7 +265,9 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 		if int(v) == from {
 			continue
 		}
-		if sup := a.idx.Support(ante, assocHost(int(v))); sup >= a.cfg.Threshold {
+		// The snapshot holds exactly the pairs at or above the activation
+		// threshold, so presence is the rule test.
+		if sup := view.Support(ante, assocHost(int(v))); sup >= a.cfg.Threshold {
 			cands = append(cands, cand{v, sup})
 		}
 	}
@@ -235,7 +301,10 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 }
 
 // ObserveHit implements peer.Router: support for {from} -> {via} grows by
-// one per returned hit, with periodic exponential decay.
+// one per returned hit, with periodic exponential decay. This is the
+// write plane — the observation is consumed by the learner and surfaces
+// in routing decisions when the publisher's policy next publishes
+// (immediately under core.PublishSync).
 func (a *Assoc) ObserveHit(u, from int, _ peer.Meta, via int) {
 	mAssocHits.Inc()
 	if via == u {
@@ -243,39 +312,19 @@ func (a *Assoc) ObserveHit(u, from int, _ peer.Meta, via int) {
 		// consequent to learn.
 		return
 	}
-	a.idx.AddPair(assocHost(from), assocHost(via))
-	a.seen++
-	if a.seen%a.cfg.DecayEvery == 0 {
-		a.idx.Decay(a.cfg.Decay, assocFloor)
-	}
+	a.learn.observeHit(assocHost(from), assocHost(via))
 }
 
-// Consequents returns the active consequent neighbors for queries arriving
-// from antecedent, ordered by descending support (ties by id). The
-// topology-adaptation extension uses this to answer "to which node would
-// you forward queries from me?" (§VI).
+// Consequents returns the published consequent neighbors for queries
+// arriving from antecedent, ordered by descending support (ties by id).
+// The topology-adaptation extension uses this to answer "to which node
+// would you forward queries from me?" (§VI). Like Route, it reads the
+// current snapshot and is safe under concurrency.
 func (a *Assoc) Consequents(antecedent int) []int32 {
-	ante := assocHost(antecedent)
-	type cand struct {
-		v   int32
-		sup float64
-	}
-	var cands []cand
-	a.idx.Range(func(k core.PairKey, sup float64) bool {
-		if k.Source() == ante && sup >= a.cfg.Threshold {
-			cands = append(cands, cand{assocNode(k.Replier()), sup})
-		}
-		return true
-	})
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].sup != cands[j].sup {
-			return cands[i].sup > cands[j].sup
-		}
-		return cands[i].v < cands[j].v
-	})
-	out := make([]int32, len(cands))
-	for i, c := range cands {
-		out[i] = c.v
+	hosts := a.pub.View().Consequents(assocHost(antecedent), 0)
+	out := make([]int32, len(hosts))
+	for i, h := range hosts {
+		out[i] = assocNode(h)
 	}
 	return out
 }
@@ -284,30 +333,42 @@ func (a *Assoc) Consequents(antecedent int) []int32 {
 // node its neighbor v used to forward this node's queries to (§VI
 // adaptation): every rule {a} -> {v} gains a sibling {a} -> {w} with
 // marginally higher support, so the next query prefers the shortcut and
-// the preference is reinforced only if it actually produces hits.
+// the preference is reinforced only if it actually produces hits. A
+// structural change to the rule table, it publishes unconditionally.
 func (a *Assoc) AdoptShortcut(v, w int32) {
+	l := &a.learn
+	l.mu.Lock()
+	defer l.mu.Unlock()
 	hv, hw := assocHost(int(v)), assocHost(int(w))
 	type adoption struct {
 		ante trace.HostID
 		sup  float64
 	}
 	var ups []adoption
-	a.idx.Range(func(k core.PairKey, sup float64) bool {
+	l.idx.Range(func(k core.PairKey, sup float64) bool {
 		if k.Replier() == hv && sup >= a.cfg.Threshold {
 			ups = append(ups, adoption{k.Source(), sup})
 		}
 		return true
 	})
 	for _, u := range ups {
-		if a.idx.Support(u.ante, hw) < u.sup {
-			a.idx.Set(u.ante, hw, u.sup*1.01)
+		if l.idx.Support(u.ante, hw) < u.sup {
+			l.idx.Set(u.ante, hw, u.sup*1.01)
 		}
 	}
+	l.pub.Publish()
 }
 
-// RuleCount reports the number of active rules (for instrumentation).
+// RuleCount reports the number of rules in the published snapshot (for
+// instrumentation).
 func (a *Assoc) RuleCount() int {
-	return a.idx.ActiveRules()
+	return a.pub.View().Len()
+}
+
+// SnapshotVersion reports the version of the currently served snapshot
+// (0 until the first publish).
+func (a *Assoc) SnapshotVersion() uint64 {
+	return a.pub.Version()
 }
 
 // RoutingIndex approximates the compound routing indices of Crespo and

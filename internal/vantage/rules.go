@@ -1,0 +1,147 @@
+package vantage
+
+import (
+	"sync"
+
+	"arq/internal/core"
+	"arq/internal/obsv"
+)
+
+// This file is the serve plane of the live servent: the same
+// learn-from-returning-hits association mining routing.Assoc runs in
+// simulation, applied to real Gnutella connections. Returning query-hits
+// teach the servent which neighbor connection answers queries arriving
+// from each upstream connection ({upstream} -> {replier} pairs, §V of the
+// paper applied at connection granularity); once a pair's decayed support
+// crosses the activation threshold, queries from that upstream are
+// forwarded to the learned top-k connections instead of flooded.
+//
+// Learning happens under the ruleServer mutex on the query-hit path, but
+// serving never touches that mutex: the forwarding decision reads the
+// latest published core.RuleSnapshot — one atomic load — so concurrent
+// connection goroutines route without contending with learning or with
+// each other.
+
+// Rule-serving instruments: queries forwarded on learned rules vs flooded
+// (no coverage, or no learned consequent currently connected).
+var (
+	mRuleRouted = obsv.GetCounter("vantage.rule_routed")
+	mRuleFlood  = obsv.GetCounter("vantage.rule_flood")
+)
+
+// RuleConfig parameterizes the servent's association rule learner. It
+// mirrors routing.AssocConfig with connection ids as the universe.
+type RuleConfig struct {
+	// TopK is the number of learned connections to forward to.
+	TopK int
+	// Threshold is the decayed support at which a pair becomes a rule.
+	Threshold float64
+	// Decay and DecayEvery age supports: every DecayEvery observed hits,
+	// supports are multiplied by Decay.
+	Decay      float64
+	DecayEvery int
+	// Floor evicts pairs whose decayed support falls below it; must stay
+	// below Threshold (0 means the default).
+	Floor float64
+	// Publish selects the snapshot publication policy. The default
+	// (PublishSync) publishes on every observed hit; a live servent with
+	// many connections may prefer PublishOnChange.
+	Publish core.PublishPolicy
+	// PublishEvery is the epoch length for core.PublishEpoch.
+	PublishEvery int
+}
+
+// DefaultRuleConfig returns the defaults used by the loopback tests:
+// synchronous publication and the simulator's learning constants.
+func DefaultRuleConfig() RuleConfig {
+	return RuleConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 64, Floor: 0.25}
+}
+
+// ruleServer owns the learn plane (index + publisher, guarded by mu) and
+// hands out lock-free routing decisions from the published snapshot.
+type ruleServer struct {
+	cfg RuleConfig
+	pub *core.Publisher
+
+	mu   sync.Mutex
+	idx  *core.PairIndex
+	seen int
+}
+
+func newRuleServer(cfg RuleConfig) *ruleServer {
+	if cfg.TopK <= 0 {
+		cfg.TopK = 2
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = 2
+	}
+	if cfg.Floor <= 0 || cfg.Floor >= cfg.Threshold {
+		cfg.Floor = cfg.Threshold / 8
+	}
+	if cfg.PublishEvery <= 0 {
+		cfg.PublishEvery = 64
+	}
+	idx := core.NewDecayIndex(cfg.Threshold)
+	return &ruleServer{
+		cfg: cfg,
+		idx: idx,
+		pub: core.NewPublisher(idx, core.PublisherConfig{Policy: cfg.Publish, Epoch: cfg.PublishEvery}),
+	}
+}
+
+// observe learns from one routed query-hit: queries arriving on
+// upstreamConn get answered via viaConn. Called on the query-hit path
+// (any connection goroutine); serialized internally.
+func (r *ruleServer) observe(upstreamConn, viaConn int) {
+	if upstreamConn < 0 || upstreamConn == viaConn {
+		return // our own search, or a degenerate loop
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.idx.AddPair(connHost(upstreamConn), connHost(viaConn))
+	r.seen++
+	if r.cfg.DecayEvery > 0 && r.seen%r.cfg.DecayEvery == 0 {
+		r.idx.Decay(r.cfg.Decay, r.cfg.Floor)
+	}
+	r.pub.Observe()
+}
+
+// filter narrows a query's flood targets to the learned top-k connections
+// for its upstream, reading the published snapshot lock-free. Falls back
+// to the full target list when nothing is learned for this upstream or no
+// learned consequent is currently connected.
+func (r *ruleServer) filter(upstreamConn int, targets []*peerConn) []*peerConn {
+	if upstreamConn < 0 || len(targets) <= 1 {
+		return targets
+	}
+	hosts := r.pub.View().Consequents(connHost(upstreamConn), r.cfg.TopK)
+	if len(hosts) == 0 {
+		mRuleFlood.Inc()
+		return targets
+	}
+	out := make([]*peerConn, 0, len(hosts))
+	for _, h := range hosts {
+		want := int(h) - 1 // invert connHost
+		for _, c := range targets {
+			if c.id == want {
+				out = append(out, c)
+				break
+			}
+		}
+	}
+	if len(out) == 0 {
+		mRuleFlood.Inc()
+		return targets
+	}
+	mRuleRouted.Inc()
+	return out
+}
+
+// RuleCount reports the number of rules in the current published
+// snapshot.
+func (s *Servent) RuleCount() int {
+	if s.rules == nil {
+		return 0
+	}
+	return s.rules.pub.View().Len()
+}

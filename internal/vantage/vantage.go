@@ -47,10 +47,11 @@ type SharedFile struct {
 // that match its library, and routes query-hits back along the reverse
 // path.
 type Servent struct {
-	id  wire.GUID
-	ln  net.Listener
-	wg  sync.WaitGroup
-	cap *Capture // optional trace capture
+	id    wire.GUID
+	ln    net.Listener
+	wg    sync.WaitGroup
+	cap   *Capture    // optional trace capture
+	rules *ruleServer // optional association-rule routing
 
 	mu      sync.Mutex
 	conns   map[int]*peerConn
@@ -79,6 +80,11 @@ func (p *peerConn) send(m *wire.Message) error {
 type Options struct {
 	// Capture, when non-nil, records relayed queries and returning hits.
 	Capture *Capture
+	// Rules, when non-nil, enables association-rule routing: the servent
+	// learns {upstream connection} -> {replying connection} rules from
+	// hits it routes back and forwards covered queries to the learned
+	// top-k connections instead of flooding (see rules.go).
+	Rules *RuleConfig
 	// ServentID defaults to a listener-address-derived id.
 	ServentID wire.GUID
 }
@@ -97,6 +103,9 @@ func Listen(addr string, opts Options) (*Servent, error) {
 		index:   keyword.NewIndex(),
 		seen:    make(map[wire.GUID]int),
 		pending: make(map[wire.GUID]chan wire.QueryHit),
+	}
+	if opts.Rules != nil {
+		s.rules = newRuleServer(*opts.Rules)
 	}
 	copy(s.id[:], ln.Addr().String())
 	s.wg.Add(1)
@@ -267,7 +276,11 @@ func (s *Servent) handleQuery(from *peerConn, m *wire.Message) {
 		}
 	}
 
-	// Flood onward.
+	// Forward onward: learned rules narrow the targets (read lock-free
+	// from the published snapshot, outside s.mu), flooding otherwise.
+	if s.rules != nil {
+		targets = s.rules.filter(from.id, targets)
+	}
 	fwd := &wire.Message{ID: m.ID, Type: wire.TypeQuery, TTL: m.TTL - 1, Hops: m.Hops + 1, Payload: m.Payload}
 	for _, c := range targets {
 		_ = c.send(fwd)
@@ -298,6 +311,9 @@ func (s *Servent) handleQueryHit(from *peerConn, m *wire.Message) {
 	mHitsRouted.Inc()
 	if s.cap != nil {
 		s.cap.recordReply(from.id, m.ID, hit)
+	}
+	if s.rules != nil {
+		s.rules.observe(upstream, from.id)
 	}
 	if waiter != nil {
 		select {
