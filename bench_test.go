@@ -11,6 +11,7 @@ package arq
 //	msgs/query, success-rate/op  — network deployment costs
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"arq/internal/adapt"
@@ -479,6 +480,47 @@ func BenchmarkConcurrentRouting(b *testing.B) {
 			b.ReportMetric(agg.AvgMessages, "msgs/query")
 			b.ReportMetric(agg.SuccessRate, "success-rate/op")
 		})
+	}
+}
+
+// BenchmarkShardedLearn measures learn-plane intake across shard and
+// writer counts: concurrent writers folding hit observations into one
+// node's core.ShardedPairIndex (AddPair plus periodic epoch-barrier
+// decay), the path a single mutex-guarded PairIndex serializes. Writers
+// use disjoint antecedent ranges — distinct upstream neighbors — so with
+// enough shards they touch disjoint locks. Reported obs/sec and ns/obs
+// scale with shards only on multi-core hosts; at GOMAXPROCS=1 writers
+// interleave instead of contending and every variant measures the same
+// serial intake rate.
+func BenchmarkShardedLearn(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, writers := range []int{1, 4, 8} {
+			shards, writers := shards, writers
+			b.Run(fmt.Sprintf("shards=%d/writers=%d", shards, writers), func(b *testing.B) {
+				idx := core.NewShardedDecayIndex(2, shards)
+				per := b.N/writers + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := stats.NewRNG(uint64(w)*77 + 13)
+						for i := 0; i < per; i++ {
+							src := trace.HostID(1 + w*512 + rng.Intn(512))
+							idx.AddPair(src, trace.HostID(1+rng.Intn(64)))
+							if i%4096 == 4095 {
+								idx.Decay(0.5, 0.25)
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				obs := float64(per * writers)
+				b.ReportMetric(obs/b.Elapsed().Seconds(), "obs/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/obs, "ns/obs")
+			})
+		}
 	}
 }
 

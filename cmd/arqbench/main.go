@@ -14,6 +14,7 @@
 //
 //	arqbench [-trials N] [-seed S] [-markdown] [-section a,b,...] [-quick] [-json out.json]
 //	         [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	         [-mutexprofile mutex.pprof] [-blockprofile block.pprof]
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"sync"
 	"time"
 
 	"arq/internal/adapt"
@@ -42,14 +44,16 @@ import (
 )
 
 var (
-	trials   = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
-	seed     = flag.Uint64("seed", 1, "master seed for all generators")
-	markdown = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section  = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, rewire)")
-	quick    = flag.Bool("quick", false, "reduced scale for a fast smoke run")
-	jsonOut  = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
-	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
-	memProf  = flag.String("memprofile", "", "write a heap profile taken after all sections to this path")
+	trials    = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
+	seed      = flag.Uint64("seed", 1, "master seed for all generators")
+	markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
+	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire)")
+	quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
+	jsonOut   = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
+	memProf   = flag.String("memprofile", "", "write a heap profile taken after all sections to this path")
+	mutexProf = flag.String("mutexprofile", "", "record all mutex contention and write the profile to this path (measures learn-plane lock pressure)")
+	blockProf = flag.String("blockprofile", "", "record all blocking events and write the profile to this path")
 )
 
 // art collects every section's rows; written to disk only under -json.
@@ -90,6 +94,14 @@ func main() {
 			}
 		}()
 	}
+	if *mutexProf != "" {
+		runtime.SetMutexProfileFraction(1)
+		defer writeLookupProfile("mutex", *mutexProf)
+	}
+	if *blockProf != "" {
+		runtime.SetBlockProfileRate(1)
+		defer writeLookupProfile("block", *blockProf)
+	}
 	if *quick {
 		if *trials > 60 {
 			*trials = 60
@@ -120,6 +132,7 @@ func main() {
 	run("recovery", recovery)
 	run("network", network)
 	run("concurrent", concurrent)
+	run("sharded", sharded)
 	run("rewire", rewire)
 
 	if *jsonOut != "" {
@@ -134,6 +147,21 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "arqbench: wrote %s (%d sections)\n", *jsonOut, len(art.Sections))
+	}
+}
+
+// writeLookupProfile dumps a runtime profile (mutex, block) collected
+// over the whole run.
+func writeLookupProfile(name, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arqbench:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := pprof.Lookup(name).WriteTo(f, 0); err != nil {
+		fmt.Fprintln(os.Stderr, "arqbench:", err)
+		os.Exit(1)
 	}
 }
 
@@ -601,6 +629,65 @@ func concurrent() {
 			"msgs_per_query": agg.AvgMessages,
 			"ns_per_query":   nsq,
 		})
+	}
+	emit(t)
+}
+
+// shardedLearnRate drives total observations through a sharded learn
+// plane from the given number of concurrent writers and returns wall
+// nanoseconds per observation. It measures index intake itself — AddPair
+// plus periodic epoch-barrier decay, the part a single-writer mutex
+// serializes; snapshot publication cost is measured separately by the
+// concurrent section.
+func shardedLearnRate(shards, writers, total int) float64 {
+	idx := core.NewShardedDecayIndex(2, shards)
+	per := total / writers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Per-writer antecedent ranges model distinct upstream
+			// neighbors feeding one node's miner.
+			rng := stats.NewRNG(*seed + uint64(w)*77 + 13)
+			for i := 0; i < per; i++ {
+				src := trace.HostID(1 + w*512 + rng.Intn(512))
+				idx.AddPair(src, trace.HostID(1+rng.Intn(64)))
+				if i%4096 == 4095 {
+					idx.Decay(0.5, 0.25)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	return float64(time.Since(start).Nanoseconds()) / float64(per*writers)
+}
+
+// sharded measures learn-plane intake throughput across shard and writer
+// counts — the single-writer bottleneck the sharded PairIndex removes.
+// The recorded ns_per_obs is a perf key for arqcheck (only a 10x
+// slowdown fails CI); the printed table adds obs/sec for reading. The
+// shards×writers ratios only spread on multi-core hosts: with one CPU
+// (GOMAXPROCS=1) writers interleave instead of contending, so every cell
+// measures the same serial intake rate.
+func sharded() {
+	total := 1_600_000
+	if *quick {
+		total = 320_000
+	}
+	t := metrics.NewTable(fmt.Sprintf("Sharded learn plane — %d observations through ShardedPairIndex + on-change publisher", total),
+		"shards", "writers", "ns/obs", "obs/sec")
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, writers := range []int{1, 4, 8} {
+			nsq := shardedLearnRate(shards, writers, total)
+			t.AddRow(shards, writers, fmt.Sprintf("%.0f", nsq), fmt.Sprintf("%.2e", 1e9/nsq))
+			rec("sharded", fmt.Sprintf("shards=%d writers=%d", shards, writers), map[string]float64{
+				"shards":     float64(shards),
+				"writers":    float64(writers),
+				"ns_per_obs": nsq,
+			})
+		}
 	}
 	emit(t)
 }

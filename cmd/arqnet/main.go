@@ -14,6 +14,7 @@ import (
 	"sync"
 
 	"arq/internal/content"
+	"arq/internal/core"
 	"arq/internal/metrics"
 	"arq/internal/overlay"
 	"arq/internal/peer"
@@ -32,6 +33,7 @@ var (
 	seed     = flag.Uint64("seed", 42, "seed for topology, content, and workload")
 	engine   = flag.String("engine", "sequential", "sequential | actor (flood/kwalk/assoc)")
 	parallel = flag.Int("parallel", 4, "concurrent workload workers on the actor engine")
+	shards   = flag.Int("shards", 0, "assoc learn-plane shards (0/1 = single-writer learner)")
 )
 
 func main() {
@@ -88,6 +90,19 @@ func main() {
 	}
 }
 
+// assocCfg is the deployment association-router config with the -shards
+// override applied. Sharding defers publication to on-change: publishing
+// on every observation would serialize the shard writers on snapshot
+// builds and defeat the parallel learn plane.
+func assocCfg() routing.AssocConfig {
+	cfg := routing.DefaultAssocConfig()
+	if *shards > 1 {
+		cfg.Shards = *shards
+		cfg.Publish = core.PublishOnChange
+	}
+	return cfg
+}
+
 func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, *peer.Engine, bool, error) {
 	mk := func(f func(u int) peer.Router) *peer.Engine { return peer.NewEngine(g, model, f) }
 	switch *router {
@@ -102,10 +117,10 @@ func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, *p
 		e := mk(func(u int) peer.Router { return &routing.RandomWalk{K: *walkers, RNG: wrng.Split()} })
 		return &routing.OneShot{Label: "k-walk", E: e, TTL: 1024}, e, false, nil
 	case "assoc":
-		e := mk(func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) })
+		e := mk(func(u int) peer.Router { return routing.NewAssoc(assocCfg()) })
 		return &routing.OneShot{Label: "assoc", E: e, TTL: *ttl}, e, true, nil
 	case "assoc2ph":
-		cfg := routing.DefaultAssocConfig()
+		cfg := assocCfg()
 		cfg.Strict = true
 		e := mk(func(u int) peer.Router { return routing.NewAssoc(cfg) })
 		return &routing.AssocTwoPhase{E: e, TTL: *ttl}, e, true, nil
@@ -142,7 +157,7 @@ func runActor(g *overlay.Graph, model *content.Model) {
 		}
 		queryTTL = 1024
 	case "assoc":
-		factory = func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) }
+		factory = func(u int) peer.Router { return routing.NewAssoc(assocCfg()) }
 		needsWarm = true
 	default:
 		fmt.Fprintf(os.Stderr, "arqnet: actor engine supports flood, kwalk, and assoc, not %q\n", *router)

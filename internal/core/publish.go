@@ -2,6 +2,7 @@ package core
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"arq/internal/obsv"
@@ -130,29 +131,61 @@ type PublisherConfig struct {
 	MinSupport float64
 }
 
-// Publisher ties a single-writer PairIndex to a lock-free stream of
-// RuleSnapshots. All methods except View must be called from the one
-// goroutine (or critical section) that owns the index; View may be called
-// from any number of goroutines concurrently and never blocks.
+// RulePairs is the read-side contract a Publisher needs from a
+// learn-plane index: iterate the current (pair, support) table and expose
+// the monotone threshold-crossing counter PublishOnChange polls. Both the
+// single-writer PairIndex and the ShardedPairIndex satisfy it.
+type RulePairs interface {
+	Range(f func(k PairKey, support float64) bool)
+	Crossings() uint64
+}
+
+// Publisher ties a learn-plane index to a lock-free stream of
+// RuleSnapshots. View may be called from any number of goroutines
+// concurrently and never blocks. Observe and Publish may also be called
+// concurrently — a sharded index has one writer per shard — and
+// serialize only on the publish itself: the trigger bookkeeping is
+// atomic, so a non-publishing Observe takes no lock. With a single
+// writer (the unsharded PairIndex contract) the behaviour is exactly the
+// pre-sharding single-writer publisher.
 type Publisher struct {
-	idx *PairIndex
+	src RulePairs
 	cfg PublisherConfig
 	cur atomic.Pointer[RuleSnapshot]
 
-	// Writer-owned bookkeeping.
+	// pmu serializes snapshot builds so version stays monotone; held
+	// only while publishing, never by a non-publishing Observe.
+	pmu      sync.Mutex
 	version  uint64
-	obsSince int
-	crossAt  uint64
+	obsSince atomic.Int64
+	crossAt  atomic.Uint64
 }
 
-// NewPublisher wraps idx. The publisher starts serving the empty
-// version-0 snapshot; nothing is read from idx until the first publish.
+// NewPublisher wraps a single-writer idx. The publisher starts serving
+// the empty version-0 snapshot; nothing is read from idx until the first
+// publish.
 func NewPublisher(idx *PairIndex, cfg PublisherConfig) *Publisher {
 	if idx == nil {
 		panic("core: NewPublisher requires an index")
 	}
+	return newPublisher(idx, idx.threshold, cfg)
+}
+
+// NewShardedPublisher wraps a sharded index: Publish materializes one
+// snapshot by merging the per-shard tables (shard = hash of the
+// antecedent, so the merge is a disjoint union and consequent lists sort
+// exactly as in the unsharded build). Shard writers call Observe
+// concurrently.
+func NewShardedPublisher(idx *ShardedPairIndex, cfg PublisherConfig) *Publisher {
+	if idx == nil {
+		panic("core: NewShardedPublisher requires an index")
+	}
+	return newPublisher(idx, idx.threshold, cfg)
+}
+
+func newPublisher(src RulePairs, threshold float64, cfg PublisherConfig) *Publisher {
 	if cfg.MinSupport <= 0 {
-		cfg.MinSupport = idx.threshold
+		cfg.MinSupport = threshold
 	}
 	if cfg.MinSupport <= 0 {
 		panic("core: NewPublisher requires MinSupport (or a decay-mode index)")
@@ -160,7 +193,7 @@ func NewPublisher(idx *PairIndex, cfg PublisherConfig) *Publisher {
 	if cfg.Epoch <= 0 {
 		cfg.Epoch = 64
 	}
-	p := &Publisher{idx: idx, cfg: cfg}
+	p := &Publisher{src: src, cfg: cfg}
 	p.cur.Store(emptySnapshot)
 	return p
 }
@@ -177,37 +210,45 @@ func (p *Publisher) Version() uint64 {
 }
 
 // Observe records that the index absorbed one observation and publishes
-// if the policy calls for it. Writer-side only.
+// if the policy calls for it. Callable from any shard writer: the
+// trigger check is atomic reads only, so observations that do not
+// publish never serialize here.
 func (p *Publisher) Observe() {
-	p.obsSince++
+	n := p.obsSince.Add(1)
 	switch p.cfg.Policy {
 	case PublishSync:
 		p.Publish()
 		return
 	case PublishOnChange:
-		if p.idx.Crossings() != p.crossAt {
+		if p.src.Crossings() != p.crossAt.Load() {
 			p.Publish()
 			return
 		}
 	case PublishEpoch:
-		if p.obsSince >= p.cfg.Epoch {
+		if n >= int64(p.cfg.Epoch) {
 			p.Publish()
 			return
 		}
 	}
-	gPublishLag.Set(int64(p.obsSince))
+	gPublishLag.Set(n)
 }
 
 // Publish materializes the index's current rules as a new immutable
-// snapshot and swaps it in. Writer-side only; returns the new snapshot.
+// snapshot and swaps it in, returning the new snapshot. Concurrent
+// publishers serialize on the build; over a sharded index the merge
+// visits shards one at a time, so each shard's rules are internally
+// consistent while shards still being written land at whatever their
+// writers had committed when the merge reached them.
 func (p *Publisher) Publish() *RuleSnapshot {
+	p.pmu.Lock()
+	defer p.pmu.Unlock()
 	p.version++
 	s := &RuleSnapshot{
 		version: p.version,
 		support: make(map[PairKey]float64),
 		conseq:  make(map[trace.HostID][]trace.HostID),
 	}
-	p.idx.Range(func(k PairKey, v float64) bool {
+	p.src.Range(func(k PairKey, v float64) bool {
 		if v >= p.cfg.MinSupport {
 			s.support[k] = v
 			s.conseq[k.Source()] = append(s.conseq[k.Source()], k.Replier())
@@ -225,8 +266,8 @@ func (p *Publisher) Publish() *RuleSnapshot {
 		})
 	}
 	p.cur.Store(s)
-	p.obsSince = 0
-	p.crossAt = p.idx.Crossings()
+	p.obsSince.Store(0)
+	p.crossAt.Store(p.src.Crossings())
 	mPublishes.Inc()
 	gPublishVer.Set(int64(s.version))
 	gPublishSize.Set(int64(len(s.support)))

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"arq/internal/trace"
+)
+
+// This file shards the learn plane. A single mutex-guarded PairIndex
+// serializes every observation at a node, which caps learning throughput
+// on multi-core hosts exactly where heavy traffic needs it to scale. The
+// paper's rules are strictly single-antecedent ({source} -> {replier}),
+// so the pair table partitions cleanly by PairKey.Source(): no rule ever
+// spans two shards, and observations whose antecedents hash to different
+// shards never share a lock.
+//
+// Coordination points:
+//
+//   - Per-observation ops (AddPair/Add/Set/Support/Covers/Matches) take
+//     the epoch lock shared plus one shard mutex — independent
+//     antecedents proceed concurrently.
+//   - Decay and Reset are epoch barriers: they take the epoch lock
+//     exclusively, so every in-flight observation drains and none starts
+//     until all shards have aged. This keeps a merged snapshot from
+//     mixing pre- and post-decay shards.
+//   - Crossings is served from per-shard atomic mirrors (each updated
+//     under its shard mutex), so a PublishOnChange publisher can poll it
+//     on every observation without touching any lock. Each mirror is
+//     monotone, hence so is the sum.
+
+// indexShard is one single-writer slice of the pair table: a mutex, the
+// wrapped unexported PairIndex, and a lock-free mirror of its monotone
+// crossings counter.
+type indexShard struct {
+	mu        sync.Mutex
+	idx       *PairIndex
+	crossings atomic.Uint64
+}
+
+// update runs f on the shard's index under its mutex and refreshes the
+// crossings mirror.
+func (sh *indexShard) update(f func(x *PairIndex)) {
+	sh.mu.Lock()
+	f(sh.idx)
+	sh.crossings.Store(sh.idx.Crossings())
+	sh.mu.Unlock()
+}
+
+// ShardedPairIndex is a decay-mode PairIndex split into N single-writer
+// shards keyed by the antecedent (shard = hash(PairKey.Source()) % N).
+// All methods are safe for concurrent use. Aggregate reads (Pairs,
+// ActiveRules, Range) visit shards one at a time: each shard is
+// internally consistent, but the aggregate is not a point-in-time cut
+// across shards while writers are running — single-antecedent rules make
+// that a freshness question, never a correctness one.
+type ShardedPairIndex struct {
+	// epoch is held shared by every per-shard operation and exclusively
+	// by Decay/Reset, fencing all shards across aging boundaries.
+	epoch     sync.RWMutex
+	shards    []*indexShard
+	threshold float64
+}
+
+// NewShardedDecayIndex returns a decay-mode engine split into shards
+// single-writer shards. threshold must be positive; shards < 1 is
+// treated as 1 (one shard degenerates to a mutex around one PairIndex).
+func NewShardedDecayIndex(threshold float64, shards int) *ShardedPairIndex {
+	if shards < 1 {
+		shards = 1
+	}
+	s := &ShardedPairIndex{
+		shards:    make([]*indexShard, shards),
+		threshold: threshold,
+	}
+	for i := range s.shards {
+		s.shards[i] = &indexShard{idx: NewDecayIndex(threshold)}
+	}
+	return s
+}
+
+// Shards returns the shard count fixed at construction.
+func (s *ShardedPairIndex) Shards() int { return len(s.shards) }
+
+// shardFor hashes the antecedent to its shard. The multiplicative mix
+// spreads the consecutive HostIDs the simulators assign; the paper's
+// single-antecedent rules guarantee every rule for src lives wholly in
+// this one shard.
+func (s *ShardedPairIndex) shardFor(src trace.HostID) *indexShard {
+	h := uint32(src) * 0x9e3779b1
+	return s.shards[h%uint32(len(s.shards))]
+}
+
+// AddPair records one (source, replier) observation. Observations with
+// different antecedent shards proceed concurrently.
+func (s *ShardedPairIndex) AddPair(src, rep trace.HostID) {
+	s.epoch.RLock()
+	s.shardFor(src).update(func(x *PairIndex) { x.AddPair(src, rep) })
+	s.epoch.RUnlock()
+}
+
+// Add adjusts the pair's count by w.
+func (s *ShardedPairIndex) Add(src, rep trace.HostID, w float64) {
+	s.epoch.RLock()
+	s.shardFor(src).update(func(x *PairIndex) { x.Add(src, rep, w) })
+	s.epoch.RUnlock()
+}
+
+// Set overwrites the pair's count exactly.
+func (s *ShardedPairIndex) Set(src, rep trace.HostID, v float64) {
+	s.epoch.RLock()
+	s.shardFor(src).update(func(x *PairIndex) { x.Set(src, rep, v) })
+	s.epoch.RUnlock()
+}
+
+// Support returns the pair's current count (0 when untracked).
+func (s *ShardedPairIndex) Support(src, rep trace.HostID) float64 {
+	s.epoch.RLock()
+	sh := s.shardFor(src)
+	sh.mu.Lock()
+	v := sh.idx.Support(src, rep)
+	sh.mu.Unlock()
+	s.epoch.RUnlock()
+	return v
+}
+
+// Covers reports whether some consequent for src is at or above the
+// activation threshold.
+func (s *ShardedPairIndex) Covers(src trace.HostID) bool {
+	s.epoch.RLock()
+	sh := s.shardFor(src)
+	sh.mu.Lock()
+	ok := sh.idx.Covers(src)
+	sh.mu.Unlock()
+	s.epoch.RUnlock()
+	return ok
+}
+
+// Matches reports whether the pair's count is at or above the activation
+// threshold.
+func (s *ShardedPairIndex) Matches(src, rep trace.HostID) bool {
+	s.epoch.RLock()
+	sh := s.shardFor(src)
+	sh.mu.Lock()
+	ok := sh.idx.Matches(src, rep)
+	sh.mu.Unlock()
+	s.epoch.RUnlock()
+	return ok
+}
+
+// Decay multiplies every count by factor and drops entries below floor.
+// It is an epoch barrier: the exclusive epoch lock drains all in-flight
+// observations, ages every shard, and only then readmits writers, so no
+// observation and no merged snapshot ever straddles the boundary.
+func (s *ShardedPairIndex) Decay(factor, floor float64) {
+	s.epoch.Lock()
+	for _, sh := range s.shards {
+		sh.update(func(x *PairIndex) { x.Decay(factor, floor) })
+	}
+	s.epoch.Unlock()
+}
+
+// Reset drops all counts in every shard (retaining map capacity). Like
+// Decay it is an epoch barrier.
+func (s *ShardedPairIndex) Reset() {
+	s.epoch.Lock()
+	for _, sh := range s.shards {
+		sh.update(func(x *PairIndex) { x.Reset() })
+	}
+	s.epoch.Unlock()
+}
+
+// Pairs returns the number of tracked pairs summed across shards.
+func (s *ShardedPairIndex) Pairs() int {
+	s.epoch.RLock()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.idx.Pairs()
+		sh.mu.Unlock()
+	}
+	s.epoch.RUnlock()
+	return n
+}
+
+// ActiveRules returns the number of pairs at or above the activation
+// threshold summed across shards.
+func (s *ShardedPairIndex) ActiveRules() int {
+	s.epoch.RLock()
+	n := 0
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		n += sh.idx.ActiveRules()
+		sh.mu.Unlock()
+	}
+	s.epoch.RUnlock()
+	return n
+}
+
+// Crossings returns the sum of the per-shard monotone threshold-crossing
+// counters, read lock-free from the shard mirrors. Each mirror only ever
+// grows, so the sum is monotone and two equal readings bracket a span in
+// which no shard's active-rule set changed — exactly the contract
+// PublishOnChange needs, at the cost of one atomic load per shard.
+func (s *ShardedPairIndex) Crossings() uint64 {
+	var n uint64
+	for _, sh := range s.shards {
+		n += sh.crossings.Load()
+	}
+	return n
+}
+
+// Range calls f for every tracked pair until f returns false, visiting
+// shards one at a time under their mutexes. Iteration order is
+// unspecified; f must not call back into the index (the shard lock is
+// held) and sees each shard atomically but the whole table only
+// shard-by-shard.
+func (s *ShardedPairIndex) Range(f func(k PairKey, count float64) bool) {
+	s.epoch.RLock()
+	defer s.epoch.RUnlock()
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		stop := false
+		sh.idx.Range(func(k PairKey, v float64) bool {
+			if !f(k, v) {
+				stop = true
+				return false
+			}
+			return true
+		})
+		sh.mu.Unlock()
+		if stop {
+			return
+		}
+	}
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// snapshotsIdentical requires the two snapshots to publish the same rule
+// sets: same version, same pairs with bit-identical supports, and the
+// same pre-sorted consequent order for every antecedent.
+func snapshotsIdentical(a, b *RuleSnapshot) error {
+	if a.Version() != b.Version() {
+		return fmt.Errorf("version %d vs %d", a.Version(), b.Version())
+	}
+	if a.Len() != b.Len() {
+		return fmt.Errorf("len %d vs %d", a.Len(), b.Len())
+	}
+	var err error
+	a.Range(func(k PairKey, sup float64) bool {
+		if got := b.Support(k.Source(), k.Replier()); got != sup {
+			err = fmt.Errorf("support(%d,%d) %v vs %v", k.Source(), k.Replier(), sup, got)
+			return false
+		}
+		ca, cb := a.Consequents(k.Source(), 0), b.Consequents(k.Source(), 0)
+		if len(ca) != len(cb) {
+			err = fmt.Errorf("consequents(%d) %v vs %v", k.Source(), ca, cb)
+			return false
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				err = fmt.Errorf("consequents(%d) %v vs %v", k.Source(), ca, cb)
+				return false
+			}
+		}
+		return true
+	})
+	return err
+}
+
+// TestShardedSnapshotsEqualUnsharded is the shard-merge equivalence
+// property: the same observation stream driven through an unsharded
+// decay index and through N-sharded indexes must publish identical
+// snapshots — same pairs, bit-identical decayed counts, same consequent
+// order — at every publish, across Decay boundaries and Reset. Counts
+// are per-pair products of the same add/decay sequence, so sharding
+// cannot perturb even the float residue.
+func TestShardedSnapshotsEqualUnsharded(t *testing.T) {
+	shardCounts := []int{1, 2, 3, 8}
+	f := func(seed uint64, thRaw uint8) bool {
+		threshold := float64(1 + int(thRaw)%3)
+		ref := NewDecayIndex(threshold)
+		refPub := NewPublisher(ref, PublisherConfig{Policy: PublishEpoch, Epoch: 7})
+		sharded := make([]*ShardedPairIndex, len(shardCounts))
+		pubs := make([]*Publisher, len(shardCounts))
+		for i, n := range shardCounts {
+			sharded[i] = NewShardedDecayIndex(threshold, n)
+			pubs[i] = NewShardedPublisher(sharded[i], PublisherConfig{Policy: PublishEpoch, Epoch: 7})
+		}
+		rng := stats.NewRNG(seed)
+		for step := 0; step < 400; step++ {
+			src := trace.HostID(1 + rng.Intn(12))
+			rep := trace.HostID(1 + rng.Intn(12))
+			switch op := rng.Intn(100); {
+			case op < 80:
+				ref.AddPair(src, rep)
+				for _, sx := range sharded {
+					sx.AddPair(src, rep)
+				}
+			case op < 88:
+				v := float64(1 + rng.Intn(5))
+				ref.Set(src, rep, v)
+				for _, sx := range sharded {
+					sx.Set(src, rep, v)
+				}
+			case op < 96:
+				ref.Decay(0.5, 0.25)
+				for _, sx := range sharded {
+					sx.Decay(0.5, 0.25)
+				}
+			default:
+				ref.Reset()
+				for _, sx := range sharded {
+					sx.Reset()
+				}
+			}
+			refPub.Observe()
+			for _, p := range pubs {
+				p.Observe()
+			}
+			if step%31 == 0 {
+				want := refPub.Publish()
+				for i, p := range pubs {
+					if err := snapshotsIdentical(want, p.Publish()); err != nil {
+						t.Logf("step %d, %d shards: %v", step, shardCounts[i], err)
+						return false
+					}
+				}
+			}
+			for i, sx := range sharded {
+				if sx.Pairs() != ref.Pairs() || sx.ActiveRules() != ref.ActiveRules() {
+					t.Logf("step %d, %d shards: pairs %d/%d active %d/%d", step, shardCounts[i],
+						sx.Pairs(), ref.Pairs(), sx.ActiveRules(), ref.ActiveRules())
+					return false
+				}
+				if sx.Covers(src) != ref.Covers(src) || sx.Matches(src, rep) != ref.Matches(src, rep) {
+					return false
+				}
+				if sx.Support(src, rep) != ref.Support(src, rep) {
+					return false
+				}
+			}
+		}
+		// Final publish must agree exactly too.
+		want := refPub.Publish()
+		for _, p := range pubs {
+			if err := snapshotsIdentical(want, p.Publish()); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestShardedCrossingsMonotoneUnderWriters drives concurrent shard
+// writers with interleaved decays while a reader polls Crossings: the
+// aggregated counter must never move backwards (the PublishOnChange
+// contract), and the final bookkeeping must equal a sequential replay.
+func TestShardedCrossingsMonotoneUnderWriters(t *testing.T) {
+	const writers, perWriter = 8, 4000
+	sx := NewShardedDecayIndex(2, 8)
+	done := make(chan struct{})
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var last uint64
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if c := sx.Crossings(); c < last {
+				t.Errorf("Crossings went backwards: %d after %d", c, last)
+				return
+			} else {
+				last = c
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := stats.NewRNG(uint64(1000 + w))
+			for i := 0; i < perWriter; i++ {
+				// Disjoint antecedent ranges per writer: each source's
+				// count history is deterministic regardless of
+				// interleaving.
+				src := trace.HostID(1 + w*64 + rng.Intn(64))
+				sx.AddPair(src, trace.HostID(1+rng.Intn(16)))
+				if i%512 == 511 {
+					sx.Decay(0.5, 0.25)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(done)
+	readerWG.Wait()
+	if sx.Pairs() == 0 || sx.ActiveRules() == 0 {
+		t.Fatalf("concurrent writers left pairs=%d active=%d", sx.Pairs(), sx.ActiveRules())
+	}
+}
+
+// TestShardedPublisherConcurrentWriters hammers one sharded publisher
+// from several shard writers under every policy while readers consume
+// snapshots; run under -race this pins the sharded write-plane memory
+// contract (version monotone, snapshots immutable and well-formed).
+func TestShardedPublisherConcurrentWriters(t *testing.T) {
+	for name, policy := range map[string]PublishPolicy{
+		"onchange": PublishOnChange,
+		"epoch":    PublishEpoch,
+	} {
+		t.Run(name, func(t *testing.T) {
+			sx := NewShardedDecayIndex(2, 4)
+			p := NewShardedPublisher(sx, PublisherConfig{Policy: policy, Epoch: 32})
+			done := make(chan struct{})
+			var readers sync.WaitGroup
+			for r := 0; r < 2; r++ {
+				readers.Add(1)
+				go func() {
+					defer readers.Done()
+					var last uint64
+					for {
+						select {
+						case <-done:
+							return
+						default:
+						}
+						v := p.View()
+						if v.Version() < last {
+							t.Error("snapshot version went backwards")
+							return
+						}
+						last = v.Version()
+						v.Range(func(k PairKey, sup float64) bool {
+							if sup < 2 {
+								t.Errorf("sub-threshold rule %v=%v published", k, sup)
+								return false
+							}
+							return true
+						})
+					}
+				}()
+			}
+			var wg sync.WaitGroup
+			for w := 0; w < 4; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					rng := stats.NewRNG(uint64(50 + w))
+					for i := 0; i < 5000; i++ {
+						sx.AddPair(trace.HostID(1+rng.Intn(32)), trace.HostID(1+rng.Intn(8)))
+						if i%701 == 700 {
+							sx.Decay(0.5, 0.25)
+						}
+						p.Observe()
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(done)
+			readers.Wait()
+			if p.Publish().Len() == 0 {
+				t.Fatal("nothing learned under concurrent writers")
+			}
+		})
+	}
+}

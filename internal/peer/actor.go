@@ -5,10 +5,18 @@ import (
 	"sync/atomic"
 
 	"arq/internal/content"
+	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/stats"
 	"arq/internal/trace"
 )
+
+// mInboxSpills counts sends that found the receiver's inbox full and
+// escaped to a handoff goroutine — the actor model's unbounded escape
+// valve. A climbing rate flags inbox pressure (ROADMAP backpressure
+// item): spilled goroutines hold messages the in-flight counter already
+// admitted, so memory grows with overload instead of shedding.
+var mInboxSpills = obsv.GetCounter("peer.actor.inbox_spills")
 
 // ActorNet runs the same node/router model as Engine with one goroutine
 // per peer communicating over channel inboxes — a true concurrent
@@ -120,6 +128,7 @@ func (a *ActorNet) send(to int, m actorMsg) {
 	select {
 	case a.inbox[to] <- m:
 	default:
+		mInboxSpills.Inc()
 		go func() { a.inbox[to] <- m }()
 	}
 }

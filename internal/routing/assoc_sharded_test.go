@@ -1,0 +1,122 @@
+package routing
+
+import (
+	"fmt"
+	"testing"
+
+	"arq/internal/core"
+	"arq/internal/peer"
+	"arq/internal/stats"
+)
+
+// TestAssocShardedMatchesUnsharded drives a sharded and an unsharded
+// association router through the same sequential stream of hit
+// observations, shortcut adoptions, and routing decisions, and requires
+// identical behaviour at every step: sharding only partitions the pair
+// table by antecedent, so on a sequential stream per-pair count
+// histories — including decay residue and adoption epsilons — are
+// unchanged, and every published rule set must match exactly.
+func TestAssocShardedMatchesUnsharded(t *testing.T) {
+	for _, shards := range []int{2, 3, 8} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			cfg := AssocConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 16}
+			ref := NewAssoc(cfg)
+			cfg.Shards = shards
+			sh := NewAssoc(cfg)
+
+			const nodes = 20
+			nbrs := make([]int32, nodes)
+			for i := range nbrs {
+				nbrs[i] = int32(i)
+			}
+			rng := stats.NewRNG(99)
+			for step := 0; step < 8000; step++ {
+				u := rng.Intn(nodes)
+				from := rng.Intn(nodes+1) - 1 // NoUpstream through nodes-1
+				switch op := rng.Intn(100); {
+				case op < 70:
+					via := rng.Intn(nodes)
+					ref.ObserveHit(u, from, peer.Meta{}, via)
+					sh.ObserveHit(u, from, peer.Meta{}, via)
+				case op < 74:
+					v, w := int32(rng.Intn(nodes)), int32(rng.Intn(nodes))
+					ref.AdoptShortcut(v, w)
+					sh.AdoptShortcut(v, w)
+				default:
+					a := ref.Route(u, from, peer.Meta{}, nbrs)
+					b := sh.Route(u, from, peer.Meta{}, nbrs)
+					if len(a) != len(b) {
+						t.Fatalf("step %d: Route(%d,%d) %v vs %v", step, u, from, a, b)
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("step %d: Route(%d,%d) %v vs %v", step, u, from, a, b)
+						}
+					}
+				}
+				if step%97 == 0 {
+					if ref.RuleCount() != sh.RuleCount() {
+						t.Fatalf("step %d: rule counts %d vs %d", step, ref.RuleCount(), sh.RuleCount())
+					}
+					ca, cb := ref.Consequents(from), sh.Consequents(from)
+					if len(ca) != len(cb) {
+						t.Fatalf("step %d: Consequents(%d) %v vs %v", step, from, ca, cb)
+					}
+					for i := range ca {
+						if ca[i] != cb[i] {
+							t.Fatalf("step %d: Consequents(%d) %v vs %v", step, from, ca, cb)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestAssocShardedActorNetParallelWorkload is the sharded counterpart of
+// TestAssocActorNetParallelWorkload: association routers with a sharded
+// learn plane on the concurrent actor network under a parallel workload.
+// Under -race this exercises concurrent shard writers, epoch-barrier
+// decay, and merged snapshot publication end to end.
+func TestAssocShardedActorNetParallelWorkload(t *testing.T) {
+	g, m := netFixture(33, 300)
+	for name, policy := range map[string]core.PublishPolicy{
+		"onchange": core.PublishOnChange,
+		"epoch":    core.PublishEpoch,
+	} {
+		t.Run(name, func(t *testing.T) {
+			cfg := DefaultAssocConfig()
+			cfg.Publish = policy
+			cfg.Shards = 4
+			routers := make([]*Assoc, g.N())
+			a := peer.NewActorNet(g, m, func(u int) peer.Router {
+				routers[u] = NewAssoc(cfg)
+				return routers[u]
+			})
+			defer a.Close()
+
+			res := a.Workload(stats.NewRNG(5), 400, 6, 8)
+			if len(res) != 400 {
+				t.Fatalf("workload returned %d stats", len(res))
+			}
+			found, rules := 0, 0
+			for _, st := range res {
+				if st.Found {
+					found++
+				}
+			}
+			for _, r := range routers {
+				// Force a final publish so deferred policies surface
+				// everything learned during the workload.
+				r.pub.Publish()
+				rules += r.RuleCount()
+			}
+			if found == 0 {
+				t.Fatal("no query succeeded")
+			}
+			if rules == 0 {
+				t.Fatal("no sharded router learned a rule from the workload")
+			}
+		})
+	}
+}

@@ -10,6 +10,7 @@ package routing
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"arq/internal/core"
 	"arq/internal/obsv"
@@ -135,6 +136,15 @@ type AssocConfig struct {
 	Publish core.PublishPolicy
 	// PublishEvery is the epoch length for core.PublishEpoch (default 64).
 	PublishEvery int
+	// Shards splits the learn plane into that many single-writer index
+	// shards keyed by the antecedent (core.ShardedPairIndex), so hits
+	// observed for independent upstream neighbors learn concurrently
+	// without sharing a lock. 0 or 1 keeps today's single mutex-guarded
+	// learner — the exact pre-sharding code path. On a sequential
+	// observation stream both paths produce identical rules (sharding
+	// only partitions the table; per-pair count histories are unchanged),
+	// so Shards trades nothing but memory for write parallelism.
+	Shards int
 }
 
 // DefaultAssocConfig returns the deployment parameters used by the network
@@ -164,7 +174,15 @@ const defaultAssocFloor = 0.25
 type Assoc struct {
 	cfg   AssocConfig
 	pub   *core.Publisher
-	learn assocLearner
+	learn assocWritePlane
+}
+
+// assocWritePlane is the learner behind an Assoc: the unsharded
+// mutex-guarded assocLearner (Shards <= 1, the pinned reference path) or
+// the shardedAssocLearner built on core.ShardedPairIndex.
+type assocWritePlane interface {
+	observeHit(ante, via trace.HostID)
+	adoptShortcut(hv, hw trace.HostID)
 }
 
 // assocLearner is the single-writer plane of the association router: it
@@ -191,6 +209,72 @@ func (l *assocLearner) observeHit(ante, via trace.HostID) {
 		l.idx.Decay(l.cfg.Decay, l.cfg.Floor)
 	}
 	l.pub.Observe()
+}
+
+// adoptShortcut grafts {a} -> {hw} siblings for every active rule
+// {a} -> {hv} (see Assoc.AdoptShortcut) and publishes unconditionally.
+func (l *assocLearner) adoptShortcut(hv, hw trace.HostID) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, u := range collectAdoptions(l.idx.Range, hv, l.cfg.Threshold) {
+		if l.idx.Support(u.ante, hw) < u.sup {
+			l.idx.Set(u.ante, hw, u.sup*1.01)
+		}
+	}
+	l.pub.Publish()
+}
+
+// shardedAssocLearner is the parallel write plane: observations land in
+// the shard owning their antecedent, so hits relayed for independent
+// upstream neighbors never contend. The decay cadence is driven by one
+// shared atomic observation counter — on a sequential stream it fires at
+// exactly the same steps as the unsharded learner's seen counter, which
+// is what keeps the two paths rule-for-rule identical.
+type shardedAssocLearner struct {
+	cfg  AssocConfig
+	idx  *core.ShardedPairIndex
+	pub  *core.Publisher
+	seen atomic.Int64
+}
+
+func (l *shardedAssocLearner) observeHit(ante, via trace.HostID) {
+	l.idx.AddPair(ante, via)
+	if n := l.seen.Add(1); n%int64(l.cfg.DecayEvery) == 0 {
+		l.idx.Decay(l.cfg.Decay, l.cfg.Floor)
+	}
+	l.pub.Observe()
+}
+
+func (l *shardedAssocLearner) adoptShortcut(hv, hw trace.HostID) {
+	// Collect outside the per-shard locks (Range holds them; Set must
+	// not run inside the callback), then apply. The writes race benignly
+	// with concurrent observations — same as any interleaved learning.
+	for _, u := range collectAdoptions(l.idx.Range, hv, l.cfg.Threshold) {
+		if l.idx.Support(u.ante, hw) < u.sup {
+			l.idx.Set(u.ante, hw, u.sup*1.01)
+		}
+	}
+	l.pub.Publish()
+}
+
+// adoption is one active rule {ante} -> {v} whose support a shortcut to w
+// should inherit (plus epsilon).
+type adoption struct {
+	ante trace.HostID
+	sup  float64
+}
+
+// collectAdoptions gathers the active rules pointing at hv from either
+// index flavor's Range.
+func collectAdoptions(rangeFn func(func(core.PairKey, float64) bool), hv trace.HostID, threshold float64) []adoption {
+	var ups []adoption
+	rangeFn(func(k core.PairKey, sup float64) bool {
+		if k.Replier() == hv && sup >= threshold {
+			ups = append(ups, adoption{k.Source(), sup})
+		}
+		return true
+	})
+	return ups
 }
 
 // assocHost maps a simulator node id into the engine's HostID key space.
@@ -229,13 +313,18 @@ func NewAssoc(cfg AssocConfig) *Assoc {
 	if cfg.PublishEvery <= 0 {
 		cfg.PublishEvery = 64
 	}
+	if cfg.Shards > 1 {
+		idx := core.NewShardedDecayIndex(cfg.Threshold, cfg.Shards)
+		pub := core.NewShardedPublisher(idx, core.PublisherConfig{
+			Policy: cfg.Publish, Epoch: cfg.PublishEvery,
+		})
+		return &Assoc{cfg: cfg, pub: pub, learn: &shardedAssocLearner{cfg: cfg, idx: idx, pub: pub}}
+	}
 	idx := core.NewDecayIndex(cfg.Threshold)
 	pub := core.NewPublisher(idx, core.PublisherConfig{
 		Policy: cfg.Publish, Epoch: cfg.PublishEvery,
 	})
-	a := &Assoc{cfg: cfg, pub: pub}
-	a.learn = assocLearner{cfg: cfg, idx: idx, pub: pub}
-	return a
+	return &Assoc{cfg: cfg, pub: pub, learn: &assocLearner{cfg: cfg, idx: idx, pub: pub}}
 }
 
 // Name implements peer.Router.
@@ -336,27 +425,7 @@ func (a *Assoc) Consequents(antecedent int) []int32 {
 // the preference is reinforced only if it actually produces hits. A
 // structural change to the rule table, it publishes unconditionally.
 func (a *Assoc) AdoptShortcut(v, w int32) {
-	l := &a.learn
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	hv, hw := assocHost(int(v)), assocHost(int(w))
-	type adoption struct {
-		ante trace.HostID
-		sup  float64
-	}
-	var ups []adoption
-	l.idx.Range(func(k core.PairKey, sup float64) bool {
-		if k.Replier() == hv && sup >= a.cfg.Threshold {
-			ups = append(ups, adoption{k.Source(), sup})
-		}
-		return true
-	})
-	for _, u := range ups {
-		if l.idx.Support(u.ante, hw) < u.sup {
-			l.idx.Set(u.ante, hw, u.sup*1.01)
-		}
-	}
-	l.pub.Publish()
+	a.learn.adoptShortcut(assocHost(int(v)), assocHost(int(w)))
 }
 
 // RuleCount reports the number of rules in the published snapshot (for

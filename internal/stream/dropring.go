@@ -1,0 +1,111 @@
+package stream
+
+import "sync"
+
+// DropRing is a fixed-capacity FIFO with drop-oldest overflow: when a
+// Push arrives with the ring full, the oldest queued item is discarded
+// to make room and Push reports the shedding. It decouples a producer
+// that must never block (a servent's wire loop observing routed hits)
+// from a consumer that may fall behind (the learn plane), bounding both
+// memory and staleness — under sustained overload the queue holds the
+// newest Cap observations and sheds the oldest, which for decayed rule
+// mining is exactly the data that mattered least.
+//
+// All methods are safe for concurrent use by any number of producers and
+// consumers. The zero value is not usable; call NewDropRing.
+type DropRing[T any] struct {
+	mu     sync.Mutex
+	nempty *sync.Cond
+	buf    []T
+	head   int // index of the oldest element
+	n      int // queued count
+	closed bool
+}
+
+// NewDropRing returns a ring holding at most cap items (cap < 1 is
+// treated as 1).
+func NewDropRing[T any](cap int) *DropRing[T] {
+	if cap < 1 {
+		cap = 1
+	}
+	r := &DropRing[T]{buf: make([]T, cap)}
+	r.nempty = sync.NewCond(&r.mu)
+	return r
+}
+
+// Cap returns the fixed capacity.
+func (r *DropRing[T]) Cap() int { return len(r.buf) }
+
+// Len returns the number of queued items.
+func (r *DropRing[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Push enqueues v without ever blocking. If the ring is full the oldest
+// queued item is dropped to make room and Push returns true; it returns
+// false when v was accepted without shedding, or after Close (the item
+// is discarded — a closed ring sheds everything).
+func (r *DropRing[T]) Push(v T) (dropped bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return true
+	}
+	if r.n == len(r.buf) {
+		// Overwrite the oldest slot: advance head past it.
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+		dropped = true
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.nempty.Signal()
+	return dropped
+}
+
+// Pop dequeues the oldest item, blocking while the ring is empty. It
+// returns ok=false only when the ring has been closed and fully drained
+// — queued items survive Close so a consumer can finish absorbing them.
+func (r *DropRing[T]) Pop() (v T, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.n == 0 {
+		if r.closed {
+			return v, false
+		}
+		r.nempty.Wait()
+	}
+	v = r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// TryPop dequeues the oldest item without blocking; ok=false means the
+// ring was empty (whether or not it is closed).
+func (r *DropRing[T]) TryPop() (v T, ok bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.n == 0 {
+		return v, false
+	}
+	v = r.buf[r.head]
+	var zero T
+	r.buf[r.head] = zero
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return v, true
+}
+
+// Close stops the ring accepting new items and wakes every blocked Pop.
+// Items already queued remain poppable; Close is idempotent.
+func (r *DropRing[T]) Close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.nempty.Broadcast()
+}

@@ -2,9 +2,11 @@ package vantage
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"arq/internal/core"
 	"arq/internal/obsv"
+	"arq/internal/stream"
 )
 
 // This file is the serve plane of the live servent: the same
@@ -27,6 +29,9 @@ import (
 var (
 	mRuleRouted = obsv.GetCounter("vantage.rule_routed")
 	mRuleFlood  = obsv.GetCounter("vantage.rule_flood")
+	// mLearnDropped counts observations shed by the bounded learn-plane
+	// intake (RuleConfig.QueueCap) under sustained overload.
+	mLearnDropped = obsv.GetCounter("vantage.learn.dropped")
 )
 
 // RuleConfig parameterizes the servent's association rule learner. It
@@ -49,6 +54,19 @@ type RuleConfig struct {
 	Publish core.PublishPolicy
 	// PublishEvery is the epoch length for core.PublishEpoch.
 	PublishEvery int
+	// Shards splits the learn plane into that many single-writer index
+	// shards keyed by the upstream connection (core.ShardedPairIndex),
+	// so hits routed for independent upstreams learn without sharing a
+	// lock. 0 or 1 keeps the single mutex-guarded index.
+	Shards int
+	// QueueCap, when positive, bounds the learn plane's observation
+	// intake: routed hits are pushed onto a fixed-capacity drop-oldest
+	// queue drained by background learner goroutines instead of being
+	// folded in on the query-hit path. Under sustained overload the
+	// oldest queued observations are shed (counted by
+	// vantage.learn.dropped) so learning lags but memory and hit-path
+	// latency stay bounded. 0 learns synchronously on the hit path.
+	QueueCap int
 }
 
 // DefaultRuleConfig returns the defaults used by the loopback tests:
@@ -57,15 +75,32 @@ func DefaultRuleConfig() RuleConfig {
 	return RuleConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 64, Floor: 0.25}
 }
 
-// ruleServer owns the learn plane (index + publisher, guarded by mu) and
-// hands out lock-free routing decisions from the published snapshot.
+// ruleObs is one queued learn-plane observation: a hit for a query from
+// upstreamConn was routed back via viaConn.
+type ruleObs struct{ up, via int }
+
+// ruleServer owns the learn plane (a single mutex-guarded index, or a
+// sharded one when cfg.Shards > 1, optionally fed through a bounded
+// drop-oldest queue) and hands out lock-free routing decisions from the
+// published snapshot.
 type ruleServer struct {
 	cfg RuleConfig
 	pub *core.Publisher
 
+	// Unsharded learn plane (cfg.Shards <= 1).
 	mu   sync.Mutex
 	idx  *core.PairIndex
 	seen int
+
+	// Sharded learn plane (cfg.Shards > 1). The decay cadence rides one
+	// shared atomic counter, mirroring the unsharded seen counter.
+	sidx  *core.ShardedPairIndex
+	sseen atomic.Int64
+
+	// Bounded intake (cfg.QueueCap > 0): observe pushes, background
+	// learner goroutines drain. nil means learn on the hit path.
+	queue *stream.DropRing[ruleObs]
+	wg    sync.WaitGroup
 }
 
 func newRuleServer(cfg RuleConfig) *ruleServer {
@@ -81,20 +116,84 @@ func newRuleServer(cfg RuleConfig) *ruleServer {
 	if cfg.PublishEvery <= 0 {
 		cfg.PublishEvery = 64
 	}
-	idx := core.NewDecayIndex(cfg.Threshold)
-	return &ruleServer{
-		cfg: cfg,
-		idx: idx,
-		pub: core.NewPublisher(idx, core.PublisherConfig{Policy: cfg.Publish, Epoch: cfg.PublishEvery}),
+	r := &ruleServer{cfg: cfg}
+	if cfg.Shards > 1 {
+		r.sidx = core.NewShardedDecayIndex(cfg.Threshold, cfg.Shards)
+		r.pub = core.NewShardedPublisher(r.sidx, core.PublisherConfig{Policy: cfg.Publish, Epoch: cfg.PublishEvery})
+	} else {
+		r.idx = core.NewDecayIndex(cfg.Threshold)
+		r.pub = core.NewPublisher(r.idx, core.PublisherConfig{Policy: cfg.Publish, Epoch: cfg.PublishEvery})
+	}
+	if cfg.QueueCap > 0 {
+		r.queue = stream.NewDropRing[ruleObs](cfg.QueueCap)
+	}
+	return r
+}
+
+// start launches the background learner goroutines that drain the
+// bounded intake (no-op without one). One drainer per shard keeps shard
+// writers busy; the unsharded index gets a single writer.
+func (r *ruleServer) start() {
+	if r.queue == nil {
+		return
+	}
+	workers := 1
+	if r.sidx != nil {
+		workers = r.sidx.Shards()
+	}
+	for i := 0; i < workers; i++ {
+		r.wg.Add(1)
+		go func() {
+			defer r.wg.Done()
+			for {
+				obs, ok := r.queue.Pop()
+				if !ok {
+					return
+				}
+				r.learn(obs.up, obs.via)
+			}
+		}()
 	}
 }
 
-// observe learns from one routed query-hit: queries arriving on
+// close drains and stops the background learners (no-op without a
+// queue). Queued observations are absorbed before the learners exit.
+func (r *ruleServer) close() {
+	if r.queue == nil {
+		return
+	}
+	r.queue.Close()
+	r.wg.Wait()
+}
+
+// observe takes one routed query-hit observation: queries arriving on
 // upstreamConn get answered via viaConn. Called on the query-hit path
-// (any connection goroutine); serialized internally.
+// (any connection goroutine). With a bounded intake the observation is
+// queued (shedding the oldest and bumping vantage.learn.dropped when
+// full); otherwise it is learned synchronously.
 func (r *ruleServer) observe(upstreamConn, viaConn int) {
 	if upstreamConn < 0 || upstreamConn == viaConn {
 		return // our own search, or a degenerate loop
+	}
+	if r.queue != nil {
+		if r.queue.Push(ruleObs{upstreamConn, viaConn}) {
+			mLearnDropped.Inc()
+		}
+		return
+	}
+	r.learn(upstreamConn, viaConn)
+}
+
+// learn folds one observation into whichever learn plane is configured,
+// decaying at the configured cadence.
+func (r *ruleServer) learn(upstreamConn, viaConn int) {
+	if r.sidx != nil {
+		r.sidx.AddPair(connHost(upstreamConn), connHost(viaConn))
+		if n := r.sseen.Add(1); r.cfg.DecayEvery > 0 && n%int64(r.cfg.DecayEvery) == 0 {
+			r.sidx.Decay(r.cfg.Decay, r.cfg.Floor)
+		}
+		r.pub.Observe()
+		return
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()

@@ -106,6 +106,7 @@ func Listen(addr string, opts Options) (*Servent, error) {
 	}
 	if opts.Rules != nil {
 		s.rules = newRuleServer(*opts.Rules)
+		s.rules.start()
 	}
 	copy(s.id[:], ln.Addr().String())
 	s.wg.Add(1)
@@ -134,6 +135,11 @@ func (s *Servent) Close() {
 		_ = c.conn.Close()
 	}
 	s.wg.Wait()
+	if s.rules != nil {
+		// Connection goroutines are done, so no more observations can
+		// arrive; drain the learn queue and stop its workers.
+		s.rules.close()
+	}
 }
 
 // Share adds a file to the servent's library and indexes its name.
