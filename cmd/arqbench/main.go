@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"arq/internal/adapt"
+	"arq/internal/chaos"
 	"arq/internal/content"
 	"arq/internal/core"
 	"arq/internal/db"
@@ -47,7 +48,7 @@ var (
 	trials    = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
 	seed      = flag.Uint64("seed", 1, "master seed for all generators")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire)")
+	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults)")
 	quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	jsonOut   = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -134,6 +135,7 @@ func main() {
 	run("concurrent", concurrent)
 	run("sharded", sharded)
 	run("rewire", rewire)
+	run("faults", faults)
 
 	if *jsonOut != "" {
 		art.GoVersion = runtime.Version()
@@ -737,5 +739,36 @@ func rewire() {
 		"hit_hops":       after.AvgHitHops,
 		"edges_added":    float64(len(added)),
 	})
+	emit(t)
+}
+
+// faults runs the seeded fault-injection soak (internal/chaos): clean /
+// faulted / republished phases with and without the staleness fallback
+// to flooding, on identically seeded networks. The rows record the
+// success rate ρ, the rule-routed decision share α, and the headline
+// fault/degradation counters per phase.
+func faults() {
+	cfg := chaos.Config{Seed: *seed + 900, Nodes: 300, Warm: 3000, Queries: 500, TTL: 6}
+	if *quick {
+		cfg.Nodes, cfg.Warm, cfg.Queries = 150, 1500, 300
+	}
+	res := chaos.Soak(cfg)
+	t := metrics.NewTable(fmt.Sprintf("Fault-injection soak — %d nodes, drop=%.2f crash=%.2f slow=%.2f, publication stalled (nofallback/* arm has the staleness fallback disabled)",
+		cfg.Nodes, res.Cfg.Fault.Drop, res.Cfg.Fault.Crash, res.Cfg.Fault.Slow),
+		"phase", "success", "rule share", "stale fallbacks", "msg drops", "down drops")
+	for _, p := range res.Phases {
+		stale := p.CounterDelta("routing.assoc.stale_fallbacks")
+		drops := p.CounterDelta("fault.msg_drops")
+		down := p.CounterDelta("fault.down_drops")
+		t.AddRow(p.Name, p.Success, fmt.Sprintf("%.3f", p.RuleShare),
+			fmt.Sprintf("%d", stale), fmt.Sprintf("%d", drops), fmt.Sprintf("%d", down))
+		rec("faults", p.Name, map[string]float64{
+			"success_rate":    p.Success,
+			"rule_share":      p.RuleShare,
+			"stale_fallbacks": float64(stale),
+			"msg_drops":       float64(drops),
+			"down_drops":      float64(down),
+		})
+	}
 	emit(t)
 }

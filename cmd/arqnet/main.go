@@ -5,6 +5,7 @@
 //	arqnet -router assoc -nodes 2000 -queries 5000
 //	arqnet -router kwalk -walkers 16
 //	arqnet -router assoc -engine actor -parallel 8
+//	arqnet -chaos -nodes 200 -warm 2000 -queries 400
 package main
 
 import (
@@ -13,6 +14,7 @@ import (
 	"os"
 	"sync"
 
+	"arq/internal/chaos"
 	"arq/internal/content"
 	"arq/internal/core"
 	"arq/internal/metrics"
@@ -34,10 +36,15 @@ var (
 	engine   = flag.String("engine", "sequential", "sequential | actor (flood/kwalk/assoc)")
 	parallel = flag.Int("parallel", 4, "concurrent workload workers on the actor engine")
 	shards   = flag.Int("shards", 0, "assoc learn-plane shards (0/1 = single-writer learner)")
+	chaosRun = flag.Bool("chaos", false, "run the fault-injection chaos soak instead of a strategy comparison")
 )
 
 func main() {
 	flag.Parse()
+	if *chaosRun {
+		runChaos()
+		return
+	}
 	rng := stats.NewRNG(*seed)
 
 	var g *overlay.Graph
@@ -87,6 +94,23 @@ func main() {
 	fmt.Println(t.String())
 	if floodAgg.AvgMessages > 0 {
 		fmt.Printf("traffic vs flooding: %.1f%%\n", 100*agg.AvgMessages/floodAgg.AvgMessages)
+	}
+}
+
+// runChaos drives the seeded chaos soak (internal/chaos): clean /
+// faulted / republished phases on the association-routing overlay, with
+// and without the staleness fallback, plus the deterministic DropRing
+// shed drill. The output carries no timings and no map-ordered
+// iteration, so identical flags print identical bytes — CI runs this
+// twice and diffs (the chaos-smoke job).
+func runChaos() {
+	res := chaos.Soak(chaos.Config{
+		Seed: *seed, Nodes: *nodes, Warm: *warm, Queries: *nq, TTL: *ttl,
+	})
+	fmt.Print(res.Format())
+	fmt.Println("shed drill:")
+	for _, d := range chaos.ShedDrill(*seed, 4096) {
+		fmt.Printf("  %-40s %+d\n", d.Name, d.Delta)
 	}
 }
 

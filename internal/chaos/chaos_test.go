@@ -1,0 +1,81 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// testConfig is small enough for CI but large enough that rules learn,
+// faults bite, and the staleness bound is crossed.
+func testConfig() Config {
+	return Config{Seed: 42, Nodes: 120, Warm: 1200, Queries: 250}
+}
+
+// The soak is a pure function of its config: identical seeds must yield
+// byte-identical formatted output — the contract the CI chaos-smoke job
+// diffs across two fresh processes.
+func TestSoakDeterministic(t *testing.T) {
+	a := Soak(testConfig())
+	b := Soak(testConfig())
+	if af, bf := a.Format(), b.Format(); af != bf {
+		t.Fatalf("identical seeds produced different soaks:\n--- a ---\n%s--- b ---\n%s", af, bf)
+	}
+}
+
+// The graceful-degradation claim, measured against its counterfactual:
+// with publication stalled under churn and loss, the fallback arm
+// actually reverts to flooding (stale_fallbacks fires) and recovers
+// more successes than the identically seeded arm that keeps trusting
+// its stale rules. A republish brings rule routing back.
+func TestSoakFallbackRecoversSuccess(t *testing.T) {
+	res := Soak(testConfig())
+	faulted := res.PhaseByName("faulted")
+	control := res.PhaseByName("nofallback/faulted")
+	if faulted == nil || control == nil {
+		t.Fatal("missing faulted phases")
+	}
+	if faulted.CounterDelta("routing.assoc.stale_fallbacks") == 0 {
+		t.Fatal("fallback arm never degraded to flooding")
+	}
+	if control.CounterDelta("routing.assoc.stale_fallbacks") != 0 {
+		t.Fatal("control arm used the staleness fallback")
+	}
+	if faulted.Success <= control.Success {
+		t.Fatalf("degrading to flooding did not recover success: fallback ρ=%.4f, control ρ=%.4f",
+			faulted.Success, control.Success)
+	}
+	repub := res.PhaseByName("republished")
+	if repub == nil {
+		t.Fatal("missing republished phase")
+	}
+	if repub.RuleShare <= faulted.RuleShare {
+		t.Fatalf("republishing did not restore rule routing: α %.4f -> %.4f",
+			faulted.RuleShare, repub.RuleShare)
+	}
+}
+
+// The shed drill is deterministic and actually exercises every shedding
+// policy.
+func TestShedDrillDeterministic(t *testing.T) {
+	a := ShedDrill(7, 4096)
+	b := ShedDrill(7, 4096)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("drill diverged:\n%v\n%v", a, b)
+	}
+	want := map[string]bool{
+		"chaos.drill.evictions":        false,
+		"chaos.drill.rejects":          false,
+		"chaos.drill.deadline_rejects": false,
+		"chaos.drill.pops":             false,
+	}
+	for _, d := range a {
+		if _, tracked := want[d.Name]; tracked && d.Delta > 0 {
+			want[d.Name] = true
+		}
+	}
+	for name, hit := range want {
+		if !hit {
+			t.Fatalf("drill never exercised %s", name)
+		}
+	}
+}

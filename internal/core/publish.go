@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arq/internal/obsv"
 	"arq/internal/trace"
@@ -38,6 +39,7 @@ var (
 // block evaluator and the online router read rules through one contract.
 type RuleSnapshot struct {
 	version uint64
+	at      int64 // publish wall-clock, ns since epoch (0 = never published)
 	support map[PairKey]float64
 	conseq  map[trace.HostID][]trace.HostID
 }
@@ -51,6 +53,15 @@ var emptySnapshot = &RuleSnapshot{
 // Version returns the snapshot's publication sequence number (0 for the
 // pre-first-publish empty snapshot).
 func (s *RuleSnapshot) Version() uint64 { return s.version }
+
+// PublishedAt returns the snapshot's publication time (zero for the
+// pre-first-publish empty snapshot).
+func (s *RuleSnapshot) PublishedAt() time.Time {
+	if s.at == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, s.at)
+}
 
 // Len returns the number of rules in the snapshot.
 func (s *RuleSnapshot) Len() int { return len(s.support) }
@@ -209,6 +220,35 @@ func (p *Publisher) Version() uint64 {
 	return p.cur.Load().version
 }
 
+// Lag returns the number of observations the learn plane has absorbed
+// since the last publish — the serve plane's staleness in observation
+// units.
+func (p *Publisher) Lag() int64 {
+	return p.obsSince.Load()
+}
+
+// Stale reports whether the served snapshot has fallen behind the learn
+// plane: more than maxLag observations absorbed since the last publish
+// (maxLag > 0), or published longer than maxAge ago (maxAge > 0). Either
+// bound at zero is disabled. The pre-first-publish empty snapshot is
+// never stale — nothing has been learned worth waiting for, and callers
+// already treat an empty snapshot as "no rules". Degradation logic
+// (routing.Assoc, the vantage rule server) polls this to decide when
+// decayed rules should yield to flooding.
+func (p *Publisher) Stale(maxLag int64, maxAge time.Duration) bool {
+	s := p.cur.Load()
+	if s.version == 0 {
+		return false
+	}
+	if maxLag > 0 && p.obsSince.Load() >= maxLag {
+		return true
+	}
+	if maxAge > 0 && time.Since(time.Unix(0, s.at)) >= maxAge {
+		return true
+	}
+	return false
+}
+
 // Observe records that the index absorbed one observation and publishes
 // if the policy calls for it. Callable from any shard writer: the
 // trigger check is atomic reads only, so observations that do not
@@ -245,6 +285,7 @@ func (p *Publisher) Publish() *RuleSnapshot {
 	p.version++
 	s := &RuleSnapshot{
 		version: p.version,
+		at:      time.Now().UnixNano(),
 		support: make(map[PairKey]float64),
 		conseq:  make(map[trace.HostID][]trace.HostID),
 	}

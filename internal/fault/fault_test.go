@@ -1,0 +1,141 @@
+package fault
+
+import (
+	"testing"
+)
+
+// Two injectors with the same config must produce identical fate
+// sequences on every edge, and a different seed must diverge.
+func TestSeededDeterministicPerEdge(t *testing.T) {
+	cfg := Config{Seed: 7, Drop: 0.2, Duplicate: 0.1, Corrupt: 0.05, Delay: 0.3, MaxDelay: 5, Slow: 0.2, SlowDelay: 3}
+	a, b := NewSeeded(cfg), NewSeeded(cfg)
+	cfg.Seed = 8
+	c := NewSeeded(cfg)
+	edges := [][2]int{{0, 1}, {1, 0}, {3, 9}, {-1, 4}}
+	diverged := false
+	for i := 0; i < 2000; i++ {
+		e := edges[i%len(edges)]
+		fa, fb, fc := a.OnSend(e[0], e[1]), b.OnSend(e[0], e[1]), c.OnSend(e[0], e[1])
+		if fa != fb {
+			t.Fatalf("send %d on edge %v: same seed diverged: %+v vs %+v", i, e, fa, fb)
+		}
+		if fa != fc {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Fatal("different seeds never diverged over 2000 sends")
+	}
+}
+
+// An edge's fate sequence must depend only on its own send order, not
+// on traffic interleaved on other edges.
+func TestSeededEdgeIndependence(t *testing.T) {
+	cfg := Config{Seed: 11, Drop: 0.3, Delay: 0.3}
+	a, b := NewSeeded(cfg), NewSeeded(cfg)
+	var alone, interleaved []Fate
+	for i := 0; i < 500; i++ {
+		alone = append(alone, a.OnSend(2, 5))
+	}
+	for i := 0; i < 500; i++ {
+		b.OnSend(5, 2) // unrelated traffic
+		b.OnSend(7, 8)
+		interleaved = append(interleaved, b.OnSend(2, 5))
+	}
+	for i := range alone {
+		if alone[i] != interleaved[i] {
+			t.Fatalf("send %d on edge 2->5 changed with unrelated traffic: %+v vs %+v", i, alone[i], interleaved[i])
+		}
+	}
+}
+
+// Fault rates must land near the configured probabilities.
+func TestSeededRates(t *testing.T) {
+	const n = 40000
+	f := NewSeeded(Config{Seed: 3, Drop: 0.25, Duplicate: 0.1, Delay: 0.2, MaxDelay: 4})
+	drops, dups, delays := 0, 0, 0
+	for i := 0; i < n; i++ {
+		fate := f.OnSend(0, 1)
+		if fate.Drop {
+			drops++
+		}
+		if fate.Duplicate {
+			dups++
+		}
+		if fate.Delay > 0 {
+			delays++
+			if fate.Delay < 1 || fate.Delay > 4 {
+				t.Fatalf("delay %d outside [1, MaxDelay]", fate.Delay)
+			}
+		}
+	}
+	check := func(name string, got int, want float64) {
+		t.Helper()
+		rate := float64(got) / n
+		if rate < want-0.02 || rate > want+0.02 {
+			t.Errorf("%s rate %.4f, want %.2f ± 0.02", name, rate, want)
+		}
+	}
+	check("drop", drops, 0.25)
+	// Dropped handoffs never roll the other faults, so their observed
+	// rates are scaled by the survival probability.
+	check("duplicate", dups, 0.1*0.75)
+	check("delay", delays, 0.2*0.75)
+}
+
+// Churn must re-roll crash assignments at epoch boundaries and hold
+// them steady within an epoch.
+func TestSeededChurnEpochs(t *testing.T) {
+	f := NewSeeded(Config{Seed: 5, Crash: 0.3, EpochEvery: 10})
+	const nodes = 200
+	down := func() []bool {
+		out := make([]bool, nodes)
+		for u := range out {
+			out[u] = f.Down(u)
+		}
+		return out
+	}
+	first := down()
+	for i := 0; i < 5; i++ {
+		f.Tick()
+	}
+	mid := down()
+	for u := range first {
+		if first[u] != mid[u] {
+			t.Fatalf("node %d changed liveness mid-epoch", u)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		f.Tick()
+	}
+	next := down()
+	changed, downs := 0, 0
+	for u := range first {
+		if first[u] != next[u] {
+			changed++
+		}
+		if next[u] {
+			downs++
+		}
+	}
+	if changed == 0 {
+		t.Fatal("crash assignment identical across epochs")
+	}
+	if downs == 0 || downs == nodes {
+		t.Fatalf("implausible down count %d/%d for Crash=0.3", downs, nodes)
+	}
+}
+
+// The zero config must inject nothing.
+func TestSeededZeroConfigIsClean(t *testing.T) {
+	f := NewSeeded(Config{Seed: 99})
+	for i := 0; i < 1000; i++ {
+		if fate := f.OnSend(i%7, (i+1)%7); fate != (Fate{}) {
+			t.Fatalf("zero config produced fate %+v", fate)
+		}
+		if f.Down(i % 7) {
+			t.Fatal("zero config crashed a node")
+		}
+		f.Tick()
+	}
+}

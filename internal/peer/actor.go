@@ -3,26 +3,84 @@ package peer
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arq/internal/content"
+	"arq/internal/fault"
 	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/stats"
+	"arq/internal/stream"
 	"arq/internal/trace"
 )
 
-// mInboxSpills counts sends that found the receiver's inbox full and
-// escaped to a handoff goroutine — the actor model's unbounded escape
-// valve. A climbing rate flags inbox pressure (ROADMAP backpressure
-// item): spilled goroutines hold messages the in-flight counter already
-// admitted, so memory grows with overload instead of shedding.
-var mInboxSpills = obsv.GetCounter("peer.actor.inbox_spills")
+// Shed instruments for the bounded per-peer outbox (the ROADMAP
+// backpressure item): one counter per OutboxPolicy, so overload shows up
+// attributed to the policy that resolved it. Every shed message is still
+// finished against its query's in-flight counter — shedding loses work,
+// never termination.
+var (
+	mShedOldest   = obsv.GetCounter("peer.actor.shed_oldest")
+	mShedNewest   = obsv.GetCounter("peer.actor.shed_newest")
+	mShedDeadline = obsv.GetCounter("peer.actor.shed_deadline")
+)
+
+// OutboxPolicy selects what ActorNet.send sheds when the receiver's
+// bounded inbox ring is full. The old behaviour — spill the handoff to a
+// fresh goroutine — is gone: it was unbounded under sustained overload
+// and raced with Close (a spilled goroutine could block forever on a
+// drained channel).
+type OutboxPolicy int
+
+const (
+	// OutboxBlock blocks the sender until a slot frees or
+	// OutboxConfig.Deadline passes, then sheds the new message
+	// (peer.actor.shed_deadline). The default: lossless under any load
+	// the receivers can eventually absorb, while the deadline bounds
+	// mutual-stall cycles — node goroutines send to each other in
+	// cycles, so unbounded blocking could deadlock.
+	OutboxBlock OutboxPolicy = iota
+	// OutboxDropNewest rejects the new message when the inbox is full
+	// (peer.actor.shed_newest): queued work is never displaced.
+	OutboxDropNewest
+	// OutboxDropOldest evicts the oldest queued message to admit the new
+	// one (peer.actor.shed_oldest): the freshest traffic wins.
+	OutboxDropOldest
+)
+
+// OutboxConfig bounds the per-peer inbox and selects its overload
+// policy.
+type OutboxConfig struct {
+	// Cap is the per-peer inbox capacity (default 256, the old channel
+	// buffer size).
+	Cap int
+	// Policy is the shedding policy (default OutboxBlock).
+	Policy OutboxPolicy
+	// Deadline is OutboxBlock's maximum wait for a slot (default 100ms).
+	Deadline time.Duration
+}
+
+// ActorConfig parameterizes an ActorNet beyond the defaults.
+type ActorConfig struct {
+	// Outbox bounds the per-peer inboxes (see OutboxConfig).
+	Outbox OutboxConfig
+	// Fault, when non-nil, injects message and node faults (see
+	// internal/fault). nil is a perfect network — the exact default
+	// behaviour.
+	Fault fault.Injector
+	// StepNs converts a Fate.Delay step into receiver stall time
+	// (default 1000ns). Delays model slow peers: the receiving node's
+	// loop sleeps before processing a delayed message.
+	StepNs int64
+}
 
 // ActorNet runs the same node/router model as Engine with one goroutine
-// per peer communicating over channel inboxes — a true concurrent
+// per peer communicating over bounded ring inboxes — a true concurrent
 // message-passing simulation. Termination uses an atomic in-flight message
 // counter: every enqueue increments it, every fully-processed message
 // decrements it, and the query completes when the counter returns to zero.
+// A shed message is finished at shed time, so queries terminate under
+// overload too — they just lose the shed branch's work.
 //
 // Per-query state (visited sets, reverse paths) is sharded per node and a
 // node's goroutine is the only writer of its shard, so queries need no
@@ -32,8 +90,12 @@ type ActorNet struct {
 	content *content.Model
 	routers []Router
 
-	inbox []chan actorMsg
+	inbox []*stream.DropRing[actorMsg]
 	wg    sync.WaitGroup
+
+	outbox OutboxConfig
+	fault  fault.Injector
+	stepNs int64
 
 	// Per-node per-query state, owned exclusively by the node goroutine.
 	nodeState []map[QueryID]*nodeQueryState
@@ -64,31 +126,51 @@ type actorQuery struct {
 }
 
 type actorMsg struct {
-	q        *actorQuery
-	from     int
-	ttl      int
-	hops     int
-	hit      bool // a query-hit traveling back; via identifies the reporter
-	via      int
-	hitHops  int
-	shutdown bool
-	flush    *sync.WaitGroup // request to clear per-query state
+	q       *actorQuery
+	from    int
+	ttl     int
+	hops    int
+	hit     bool // a query-hit traveling back; via identifies the reporter
+	via     int
+	hitHops int
+	stallNs int64           // injected slow-peer stall before processing
+	flush   *sync.WaitGroup // request to clear per-query state
 }
 
-// NewActorNet starts one goroutine per node. Call Close when done.
+// NewActorNet starts one goroutine per node with the default bounded
+// outbox (cap 256, block-with-deadline — lossless at any load the
+// receivers can absorb). Call Close when done.
 func NewActorNet(g *overlay.Graph, m *content.Model, factory func(u int) Router) *ActorNet {
+	return NewActorNetWith(g, m, factory, ActorConfig{})
+}
+
+// NewActorNetWith is NewActorNet with explicit outbox bounds, shedding
+// policy, and fault injection. Call Close when done.
+func NewActorNetWith(g *overlay.Graph, m *content.Model, factory func(u int) Router, cfg ActorConfig) *ActorNet {
+	if cfg.Outbox.Cap <= 0 {
+		cfg.Outbox.Cap = 256
+	}
+	if cfg.Outbox.Deadline <= 0 {
+		cfg.Outbox.Deadline = 100 * time.Millisecond
+	}
+	if cfg.StepNs <= 0 {
+		cfg.StepNs = 1000
+	}
 	n := g.N()
 	a := &ActorNet{
 		g:         g,
 		content:   m,
 		routers:   make([]Router, n),
-		inbox:     make([]chan actorMsg, n),
+		inbox:     make([]*stream.DropRing[actorMsg], n),
+		outbox:    cfg.Outbox,
+		fault:     cfg.Fault,
+		stepNs:    cfg.StepNs,
 		nodeState: make([]map[QueryID]*nodeQueryState, n),
 		queries:   make(map[QueryID]*actorQuery),
 	}
 	for u := 0; u < n; u++ {
 		a.routers[u] = factory(u)
-		a.inbox[u] = make(chan actorMsg, 256)
+		a.inbox[u] = stream.NewDropRing[actorMsg](cfg.Outbox.Cap)
 		a.nodeState[u] = make(map[QueryID]*nodeQueryState)
 	}
 	a.wg.Add(n)
@@ -98,11 +180,13 @@ func NewActorNet(g *overlay.Graph, m *content.Model, factory func(u int) Router)
 	return a
 }
 
-// Close shuts down all node goroutines. The net must be idle (no queries
-// in flight).
+// Close shuts down all node goroutines. The net should be idle (no
+// queries in flight); messages still queued are drained and finished
+// before the workers exit, and any send racing with Close is shed and
+// finished rather than leaked — no goroutine outlives Close.
 func (a *ActorNet) Close() {
 	for u := range a.inbox {
-		a.inbox[u] <- actorMsg{shutdown: true}
+		a.inbox[u].Close()
 	}
 	a.wg.Wait()
 }
@@ -114,22 +198,75 @@ func (a *ActorNet) Flush() {
 	var wg sync.WaitGroup
 	wg.Add(len(a.inbox))
 	for u := range a.inbox {
-		a.inbox[u] <- actorMsg{flush: &wg}
+		a.enqueue(u, actorMsg{flush: &wg})
 	}
 	wg.Wait()
 }
 
-// send enqueues a message, accounting it in-flight. When the receiver's
-// inbox is full the handoff moves to a fresh goroutine rather than
-// blocking the sender's processing loop — node goroutines send to each
-// other in cycles, so blocking sends could deadlock under bursty load.
+// send accounts a message in-flight and enqueues it, consulting the
+// fault injector first: a dropped message is finished on the spot, a
+// duplicated one is enqueued twice (each copy accounted), and a delayed
+// one carries its stall to the receiver. The origin injection
+// (from == NoUpstream, not a hit) is not a network message and is never
+// faulted.
 func (a *ActorNet) send(to int, m actorMsg) {
-	m.q.inflight.Add(1)
-	select {
-	case a.inbox[to] <- m:
-	default:
-		mInboxSpills.Inc()
-		go func() { a.inbox[to] <- m }()
+	copies := 1
+	if f := a.fault; f != nil && (m.from != NoUpstream || m.hit) {
+		fate := f.OnSend(m.from, to)
+		if fate.Drop {
+			m.q.inflight.Add(1)
+			a.finish(m.q)
+			return
+		}
+		if fate.Duplicate || fate.Corrupt {
+			// No wire GUIDs here; a corrupted GUID manifests as a
+			// delivery that escapes duplicate suppression — same
+			// observable as a duplicate.
+			copies = 2
+		}
+		if fate.Delay > 0 {
+			m.stallNs = int64(fate.Delay) * a.stepNs
+		}
+	}
+	for i := 0; i < copies; i++ {
+		m.q.inflight.Add(1)
+		a.enqueue(to, m)
+	}
+}
+
+// enqueue applies the outbox policy. It never spawns a goroutine: the
+// message lands in the receiver's bounded ring, or it (or a displaced
+// victim) is shed — counted and finished.
+func (a *ActorNet) enqueue(to int, m actorMsg) {
+	r := a.inbox[to]
+	switch a.outbox.Policy {
+	case OutboxDropNewest:
+		if !r.PushReject(m) {
+			mShedNewest.Inc()
+			a.shed(m)
+		}
+	case OutboxDropOldest:
+		if victim, ok := r.PushEvict(m); ok {
+			mShedOldest.Inc()
+			a.shed(victim)
+		}
+	default: // OutboxBlock
+		if !r.PushDeadline(m, a.outbox.Deadline) {
+			mShedDeadline.Inc()
+			a.shed(m)
+		}
+	}
+}
+
+// shed settles a message that will never be processed: its query's
+// in-flight count is released (so the query still terminates) and a
+// flush request is acknowledged without clearing.
+func (a *ActorNet) shed(m actorMsg) {
+	if m.q != nil {
+		a.finish(m.q)
+	}
+	if m.flush != nil {
+		m.flush.Done()
 	}
 }
 
@@ -143,13 +280,26 @@ func (a *ActorNet) finish(q *actorQuery) {
 
 func (a *ActorNet) nodeLoop(u int) {
 	defer a.wg.Done()
-	for m := range a.inbox[u] {
-		if m.shutdown {
+	for {
+		m, ok := a.inbox[u].Pop()
+		if !ok {
 			return
 		}
 		if m.flush != nil {
 			a.nodeState[u] = make(map[QueryID]*nodeQueryState)
 			m.flush.Done()
+			continue
+		}
+		if m.stallNs > 0 {
+			// Slow-peer stall: this node's whole loop lags, delaying
+			// everything queued behind the stalled message.
+			time.Sleep(time.Duration(m.stallNs))
+		}
+		if f := a.fault; f != nil && u != m.q.meta.Origin && f.Down(u) {
+			// Crashed receiver: the delivery evaporates. The origin is
+			// exempt — a peer issuing a query is by definition up.
+			fault.ReportDownDrop()
+			a.finish(m.q)
 			continue
 		}
 		if m.hit {
@@ -184,7 +334,12 @@ func (a *ActorNet) handleQuery(u int, m actorMsg) {
 	hosts := u != q.meta.Origin && a.content.Hosts(u, q.meta.Category)
 	if hosts && first {
 		q.hits.Add(1)
-		recordFirstHit(q, m.hops)
+		if a.fault == nil {
+			// Perfect network: the hit's return is guaranteed, so the
+			// match itself settles Found — the exact pre-fault
+			// accounting.
+			recordFirstHit(q, m.hops)
+		}
 		// Report the hit to ourselves and start it traveling upstream.
 		a.routers[u].ObserveHit(u, m.from, q.meta, u)
 		if m.from != NoUpstream {
@@ -217,6 +372,11 @@ func (a *ActorNet) handleHit(u int, m actorMsg) {
 	}
 	a.routers[u].ObserveHit(u, st.parent, q.meta, m.via)
 	if st.parent == NoUpstream {
+		if a.fault != nil {
+			// Faulty network: success means the hit survived the
+			// reverse path all the way home.
+			recordFirstHit(q, m.hitHops)
+		}
 		return // reached the origin
 	}
 	q.hitMsgs.Add(1)
@@ -286,6 +446,9 @@ func (a *ActorNet) Workload(rng *stats.RNG, nQueries, ttl, workers int) []Stats 
 // it, returning its stats. Multiple RunQuery calls may be issued from
 // different goroutines concurrently; per-query state is independent.
 func (a *ActorNet) RunQuery(origin int, category trace.InterestID, ttl int) Stats {
+	if f := a.fault; f != nil {
+		f.Tick()
+	}
 	q := &actorQuery{
 		meta: Meta{ID: QueryID(a.nextID.Add(1)), Origin: origin, Category: category},
 		done: make(chan struct{}),

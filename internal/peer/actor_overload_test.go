@@ -1,0 +1,132 @@
+package peer
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"arq/internal/obsv"
+	"arq/internal/stats"
+)
+
+// overloadNet builds a small dense net with a deliberately tiny inbox so
+// the given shedding policy actually fires under a parallel workload.
+func overloadNet(policy OutboxPolicy, cap int) *ActorNet {
+	g := lineGraph(24)
+	// Densify: connect every node to a hub so floods converge on one
+	// inbox.
+	for u := 2; u < 24; u++ {
+		g.AddEdge(0, u)
+	}
+	m := modelHosting(24, 23)
+	return NewActorNetWith(g, m, func(u int) Router { return floodRouter{} },
+		ActorConfig{Outbox: OutboxConfig{Cap: cap, Policy: policy}})
+}
+
+func shedTotal() int64 {
+	return obsv.GetCounter("peer.actor.shed_oldest").Value() +
+		obsv.GetCounter("peer.actor.shed_newest").Value() +
+		obsv.GetCounter("peer.actor.shed_deadline").Value()
+}
+
+// Under sustained overload with a tiny inbox, every query must still
+// terminate (shed messages release their in-flight count) and the sheds
+// must surface in the peer.actor.* counters. Run with -race in CI.
+func TestActorOverloadShedsAndTerminates(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy OutboxPolicy
+	}{
+		{"drop-newest", OutboxDropNewest},
+		{"drop-oldest", OutboxDropOldest},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			before := shedTotal()
+			a := overloadNet(tc.policy, 2)
+			defer a.Close()
+			done := make(chan []Stats, 1)
+			go func() {
+				done <- a.Workload(stats.NewRNG(41), 300, 16, 8)
+			}()
+			select {
+			case all := <-done:
+				if len(all) != 300 {
+					t.Fatalf("workload returned %d stats, want 300", len(all))
+				}
+			case <-time.After(60 * time.Second):
+				t.Fatal("workload hung under overload — a shed message leaked its in-flight count")
+			}
+			if shedTotal() == before {
+				t.Fatalf("no sheds recorded with cap-2 inboxes under policy %s", tc.name)
+			}
+		})
+	}
+}
+
+// OutboxBlock with a generous deadline must be lossless on a workload
+// the receivers can absorb: zero sheds, and per-query stats identical to
+// the sequential engine (the equivalence the pre-bounded-outbox tests
+// pinned).
+func TestActorBlockPolicyLosslessMatchesEngine(t *testing.T) {
+	g := lineGraph(12)
+	m := modelHosting(12, 11)
+	before := shedTotal()
+	a := NewActorNetWith(g, m, func(u int) Router { return floodRouter{} },
+		ActorConfig{Outbox: OutboxConfig{Cap: 4, Policy: OutboxBlock, Deadline: 5 * time.Second}})
+	defer a.Close()
+	e := floodEngine(g, m)
+	for i := 0; i < 12; i++ {
+		got := a.RunQuery(0, 0, 12)
+		want := e.RunQuery(0, 0, 12)
+		got.HitNodes, want.HitNodes = nil, nil
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: actor %+v != engine %+v", i, got, want)
+		}
+	}
+	if d := shedTotal() - before; d != 0 {
+		t.Fatalf("block policy shed %d messages on an absorbable workload", d)
+	}
+}
+
+// Close must reap every goroutine the net started, even right after an
+// overloaded workload with messages still queued — the old spilled-send
+// goroutines leaked exactly here. Repeated cycles make a leak additive
+// and therefore visible.
+func TestActorCloseLeaksNoGoroutines(t *testing.T) {
+	runtime.GC()
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		a := overloadNet(OutboxDropNewest, 2)
+		a.Workload(stats.NewRNG(uint64(100+i)), 120, 16, 8)
+		a.Close()
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("goroutines leaked across Close: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// A send racing with Close must be shed-and-finished, not leaked: the
+// query issued concurrently with Close always terminates.
+func TestActorSendDuringCloseTerminates(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		a := overloadNet(OutboxBlock, 2)
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			a.RunQuery(0, 1, 16)
+		}()
+		a.Close()
+		select {
+		case <-done:
+		case <-time.After(30 * time.Second):
+			t.Fatal("query racing Close never terminated")
+		}
+	}
+}

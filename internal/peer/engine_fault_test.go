@@ -1,0 +1,136 @@
+package peer
+
+import (
+	"reflect"
+	"testing"
+
+	"arq/internal/content"
+	"arq/internal/fault"
+	"arq/internal/overlay"
+	"arq/internal/stats"
+)
+
+// faultWorkload runs one seeded flood workload on a fresh engine with
+// the given injector config and returns the per-query stats.
+func faultWorkload(t *testing.T, seed uint64, cfg *fault.Config) []Stats {
+	t.Helper()
+	rng := stats.NewRNG(seed)
+	g := overlay.GnutellaLike(rng, 200)
+	m := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+	e := NewEngine(g, m, func(u int) Router { return floodRouter{} })
+	if cfg != nil {
+		e.Fault = fault.NewSeeded(*cfg)
+	}
+	return e.Workload(stats.NewRNG(seed+1), 200, 6)
+}
+
+// Identical seeds must give byte-identical stats series under injected
+// faults — the determinism contract the chaos smoke test builds on.
+func TestEngineFaultsDeterministic(t *testing.T) {
+	cfg := fault.Config{Seed: 17, Drop: 0.1, Duplicate: 0.05, Delay: 0.2, MaxDelay: 4,
+		Crash: 0.1, Slow: 0.1, EpochEvery: 16}
+	a := faultWorkload(t, 5, &cfg)
+	b := faultWorkload(t, 5, &cfg)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical seeds produced different stats under faults")
+	}
+}
+
+// Injected loss and churn must actually degrade the workload: fewer
+// successes and fewer nodes reached than the clean run. A zero-config
+// injector must change nothing at all versus Fault == nil.
+func TestEngineFaultsDegradeAndZeroConfigIsExact(t *testing.T) {
+	clean := faultWorkload(t, 5, nil)
+	zero := faultWorkload(t, 5, &fault.Config{Seed: 17})
+	if !reflect.DeepEqual(clean, zero) {
+		t.Fatal("zero-config injector diverged from nil injector")
+	}
+
+	lossy := faultWorkload(t, 5, &fault.Config{Seed: 17, Drop: 0.3, Crash: 0.2, EpochEvery: 16})
+	sum := func(all []Stats) (succ int, reached int) {
+		for _, s := range all {
+			if s.Found {
+				succ++
+			}
+			reached += s.NodesReached
+		}
+		return
+	}
+	cs, cr := sum(clean)
+	ls, lr := sum(lossy)
+	if ls >= cs {
+		t.Fatalf("success did not degrade under loss+churn: clean %d, lossy %d", cs, ls)
+	}
+	if lr >= cr {
+		t.Fatalf("reach did not degrade under loss+churn: clean %d, lossy %d", cr, lr)
+	}
+}
+
+// A hit dropped on the reverse path must not count as Found. On a line
+// graph with the origin at node 0 and the content at the far end, query
+// forwards that matter travel toward increasing ids and every reverse-
+// path hop travels toward decreasing ids, so a downhill-only injector
+// severs exactly the hit's way home: the content still matches
+// (Hits = 1) but the query must not be Found.
+func TestEngineHitLossIsNotFound(t *testing.T) {
+	g := lineGraph(6)
+	m := modelHosting(6, 4)
+	e := floodEngine(g, m)
+	e.Fault = downhillDropInjector{}
+	st := e.RunQuery(0, 0, 8)
+	if st.Hits != 1 {
+		t.Fatalf("content did not match: %+v", st)
+	}
+	if st.Found {
+		t.Fatalf("query Found although the hit's reverse path was severed: %+v", st)
+	}
+
+	// Same topology, no faults: the identical query is Found.
+	e2 := floodEngine(g, m)
+	if st := e2.RunQuery(0, 0, 8); !st.Found {
+		t.Fatalf("clean control query not Found: %+v", st)
+	}
+}
+
+// The actor engine takes the same injector: queries must terminate
+// under loss and churn (dropped messages settle their in-flight count)
+// and success must degrade versus a clean run. Run with -race in CI.
+func TestActorFaultsTerminateAndDegrade(t *testing.T) {
+	rng := stats.NewRNG(13)
+	g := overlay.GnutellaLike(rng, 150)
+	m := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+	run := func(inj fault.Injector) []Stats {
+		a := NewActorNetWith(g, m, func(u int) Router { return floodRouter{} },
+			ActorConfig{Fault: inj})
+		defer a.Close()
+		return a.Workload(stats.NewRNG(14), 150, 6, 4)
+	}
+	succ := func(all []Stats) int {
+		n := 0
+		for _, s := range all {
+			if s.Found {
+				n++
+			}
+		}
+		return n
+	}
+	clean := succ(run(nil))
+	lossy := succ(run(fault.NewSeeded(fault.Config{Seed: 3, Drop: 0.3, Crash: 0.2, EpochEvery: 16})))
+	if clean == 0 {
+		t.Fatal("clean workload found nothing; test proves nothing")
+	}
+	if lossy >= clean {
+		t.Fatalf("success did not degrade on the actor engine: clean %d, lossy %d", clean, lossy)
+	}
+}
+
+// downhillDropInjector drops every message sent toward a smaller node
+// id; on a line graph queried from node 0 that is every reverse-path
+// hop (and only duplicate-suppressed back-forwards besides).
+type downhillDropInjector struct{}
+
+func (downhillDropInjector) OnSend(from, to int) fault.Fate {
+	return fault.Fate{Drop: to < from}
+}
+func (downhillDropInjector) Down(int) bool { return false }
+func (downhillDropInjector) Tick()         {}

@@ -17,7 +17,10 @@
 package peer
 
 import (
+	"container/heap"
+
 	"arq/internal/content"
+	"arq/internal/fault"
 	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/stats"
@@ -115,7 +118,14 @@ type Engine struct {
 	G       *overlay.Graph
 	Content *content.Model
 	Routers []Router
-	nextID  QueryID
+	// Fault, when non-nil, injects message and node faults (see
+	// internal/fault): forwards may be dropped, duplicated, or delayed
+	// (delivered out of BFS order), crashed nodes discard deliveries,
+	// and a hit only counts as Found if it survives the reverse path to
+	// the origin. nil is a perfect network — the exact historical
+	// behaviour, pinned by the golden and equivalence tests.
+	Fault  fault.Injector
+	nextID QueryID
 }
 
 // NewEngine wires a graph, a content model, and one router per node built
@@ -135,6 +145,34 @@ type delivery struct {
 	hops     int
 }
 
+// timedDelivery is a fault-delayed delivery, released when the step
+// counter reaches at; seq breaks ties in issue order so delayed traffic
+// stays deterministic.
+type timedDelivery struct {
+	at, seq int
+	d       delivery
+}
+
+// delayHeap orders delayed deliveries by release step, then issue order.
+type delayHeap []timedDelivery
+
+func (h delayHeap) Len() int { return len(h) }
+func (h delayHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h delayHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *delayHeap) Push(x any)   { *h = append(*h, x.(timedDelivery)) }
+func (h *delayHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
 // RunQuery injects a query at origin for category with the given TTL and
 // simulates it to quiescence, returning its stats. Matches at the origin
 // itself are not counted (a user searches for content they lack).
@@ -150,21 +188,46 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 	meta := Meta{ID: id, Origin: origin, Category: category, FloodPhase: floodPhase}
 	var st Stats
 
+	f := e.Fault
+	if f != nil {
+		f.Tick()
+	}
 	walk := e.Routers[origin].Walk()
 	// parent[u] = upstream neighbor of u's first receipt (flood mode);
 	// used to route hits back and to attribute learning.
 	parent := make(map[int]int, 64)
 	visited := make(map[int]bool, 64)
 
-	// FIFO queue: breadth-first delivery order, one hop per step.
+	// FIFO queue: breadth-first delivery order, one hop per step. Under
+	// fault injection a delayed forward sits in the heap until the step
+	// counter (deliveries processed) reaches its release — traffic
+	// issued later overtakes it, which is the reordering faults model.
 	queue := []delivery{{to: origin, from: NoUpstream, ttl: ttl, hops: 0}}
 	visited[origin] = true
 	parent[origin] = NoUpstream
+	var delayed delayHeap
+	step, seq := 0, 0
 
-	for len(queue) > 0 {
+	for len(queue) > 0 || len(delayed) > 0 {
+		if len(queue) == 0 {
+			// Nothing in flight but delayed traffic: advance the clock
+			// to the earliest release.
+			step = delayed[0].at
+		}
+		for len(delayed) > 0 && delayed[0].at <= step {
+			queue = append(queue, heap.Pop(&delayed).(timedDelivery).d)
+		}
 		d := queue[0]
 		queue = queue[1:]
+		step++
 		u := d.to
+
+		if f != nil && u != origin && f.Down(u) {
+			// Crashed receiver: the delivery evaporates. The origin is
+			// exempt — a peer issuing a query is by definition up.
+			fault.ReportDownDrop()
+			continue
+		}
 
 		first := d.from == NoUpstream || !visited[u]
 		if !walk && !first {
@@ -184,11 +247,16 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 		if hosts && first {
 			st.Hits++
 			st.HitNodes = append(st.HitNodes, int32(u))
-			if !st.Found || d.hops < st.FirstHitHops {
-				st.FirstHitHops = d.hops
+			delivered := e.propagateHit(meta, u, d.from, parent, &st)
+			// On a perfect network the hit's return is guaranteed;
+			// under faults it only counts as Found if it survived the
+			// reverse path home.
+			if f == nil || delivered {
+				if !st.Found || d.hops < st.FirstHitHops {
+					st.FirstHitHops = d.hops
+				}
+				st.Found = true
 			}
-			st.Found = true
-			e.propagateHit(meta, u, d.from, parent, &st)
 		}
 		if hosts && walk {
 			// A walker terminates when it lands on matching content,
@@ -205,7 +273,30 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 		next := e.Routers[u].Route(u, d.from, q, e.G.Neighbors(u))
 		for _, v := range next {
 			st.QueryMessages++
-			queue = append(queue, delivery{to: int(v), from: u, ttl: d.ttl - 1, hops: d.hops + 1})
+			nd := delivery{to: int(v), from: u, ttl: d.ttl - 1, hops: d.hops + 1}
+			if f == nil {
+				queue = append(queue, nd)
+				continue
+			}
+			fate := f.OnSend(u, int(v))
+			if fate.Drop {
+				continue
+			}
+			copies := 1
+			if fate.Duplicate || fate.Corrupt {
+				// No wire GUIDs here; a corrupted GUID manifests as a
+				// delivery that escapes duplicate suppression — same
+				// observable as a duplicate.
+				copies = 2
+			}
+			for c := 0; c < copies; c++ {
+				if fate.Delay > 0 {
+					heap.Push(&delayed, timedDelivery{at: step + fate.Delay, seq: seq, d: nd})
+					seq++
+				} else {
+					queue = append(queue, nd)
+				}
+			}
 		}
 	}
 	record(&st)
@@ -214,13 +305,28 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 
 // propagateHit routes a query-hit from node u back to the origin along the
 // reverse path recorded in parent, letting each node on the way observe
-// which neighbor produced the hit.
-func (e *Engine) propagateHit(meta Meta, u, upstreamAtU int, parent map[int]int, st *Stats) {
+// which neighbor produced the hit. It reports whether the hit reached the
+// origin: always true on a perfect network (a lost walker trail keeps the
+// historical delivered semantics), false only when an injected fault
+// drops the hit or a node on the reverse path is down.
+func (e *Engine) propagateHit(meta Meta, u, upstreamAtU int, parent map[int]int, st *Stats) bool {
 	e.Routers[u].ObserveHit(u, upstreamAtU, meta, u)
 	via := u
 	node := upstreamAtU
 	for node != NoUpstream {
 		st.HitMessages++
+		if f := e.Fault; f != nil {
+			// The hit crosses via -> node; drops and crashed relays
+			// lose it (duplication and delay are irrelevant to a
+			// boolean arrival).
+			if node != meta.Origin && f.Down(node) {
+				fault.ReportDownDrop()
+				return false
+			}
+			if f.OnSend(via, node).Drop {
+				return false
+			}
+		}
 		up, ok := parent[node]
 		if !ok {
 			// Walker path bookkeeping can lose the trail when a node was
@@ -231,6 +337,7 @@ func (e *Engine) propagateHit(meta Meta, u, upstreamAtU int, parent map[int]int,
 		via = node
 		node = up
 	}
+	return true
 }
 
 // Aggregate summarizes a batch of per-query stats.

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arq/internal/core"
 	"arq/internal/obsv"
@@ -31,6 +32,10 @@ var (
 	mAssocDrops      = obsv.GetCounter("routing.assoc.strict_drops")
 	mAssocFloodPhase = obsv.GetCounter("routing.assoc.flood_phase")
 	mAssocHits       = obsv.GetCounter("routing.assoc.hits_observed")
+	// mAssocStale counts routing decisions that fell back to flooding
+	// because the served snapshot breached its staleness bound — the
+	// graceful-degradation transition under publication stalls.
+	mAssocStale = obsv.GetCounter("routing.assoc.stale_fallbacks")
 )
 
 // Flood forwards every query to all neighbors except the one it arrived
@@ -145,6 +150,17 @@ type AssocConfig struct {
 	// only partitions the table; per-pair count histories are unchanged),
 	// so Shards trades nothing but memory for write parallelism.
 	Shards int
+	// StaleObs, when positive, bounds how far the served snapshot may
+	// lag the learn plane: once that many observations have been
+	// absorbed since the last publish, Route stops trusting the decayed
+	// rules and falls back to flooding (counted by
+	// routing.assoc.stale_fallbacks) until a publish catches the serve
+	// plane up. 0 disables the bound — rules are served no matter how
+	// stale, the historical behaviour.
+	StaleObs int
+	// StaleAge is the wall-clock analogue of StaleObs: a snapshot older
+	// than this also degrades to flooding. 0 disables it.
+	StaleAge time.Duration
 }
 
 // DefaultAssocConfig returns the deployment parameters used by the network
@@ -343,6 +359,16 @@ func (a *Assoc) Route(u, from int, q peer.Meta, nbrs []int32) []int32 {
 		mAssocFloodPhase.Inc()
 		return Flood{}.Route(u, from, q, nbrs)
 	}
+	if (a.cfg.StaleObs > 0 || a.cfg.StaleAge > 0) &&
+		a.pub.Stale(int64(a.cfg.StaleObs), a.cfg.StaleAge) {
+		// The served snapshot has fallen behind the learn plane
+		// (publication stalled or overloaded): decayed rules are more
+		// dangerous than expensive flooding, so degrade gracefully.
+		// Deliberately overrides Strict — a strict drop on stale rules
+		// would compound the outage.
+		mAssocStale.Inc()
+		return Flood{}.Route(u, from, q, nbrs)
+	}
 	view := a.pub.View()
 	ante := assocHost(from)
 	type cand struct {
@@ -426,6 +452,20 @@ func (a *Assoc) Consequents(antecedent int) []int32 {
 // structural change to the rule table, it publishes unconditionally.
 func (a *Assoc) AdoptShortcut(v, w int32) {
 	a.learn.adoptShortcut(assocHost(int(v)), assocHost(int(w)))
+}
+
+// PublishNow forces an immediate snapshot publication regardless of the
+// configured policy — the escape hatch that resumes serving fresh rules
+// after a publication stall (and the chaos harness's lever for staging
+// one).
+func (a *Assoc) PublishNow() {
+	a.pub.Publish()
+}
+
+// SnapshotLag reports how many observations the learn plane has
+// absorbed since the snapshot being served was published.
+func (a *Assoc) SnapshotLag() int64 {
+	return a.pub.Lag()
 }
 
 // RuleCount reports the number of rules in the published snapshot (for

@@ -1,6 +1,9 @@
 package stream
 
-import "sync"
+import (
+	"sync"
+	"time"
+)
 
 // DropRing is a fixed-capacity FIFO with drop-oldest overflow: when a
 // Push arrives with the ring full, the oldest queued item is discarded
@@ -11,11 +14,18 @@ import "sync"
 // newest Cap observations and sheds the oldest, which for decayed rule
 // mining is exactly the data that mattered least.
 //
+// Beyond the original drop-oldest Push, the ring offers the three
+// overload policies a bounded outbox needs (peer.ActorNet): PushEvict
+// (drop-oldest, handing the evicted item back so the caller can account
+// for it), PushReject (drop-newest), and PushDeadline (block until
+// space frees or a deadline passes).
+//
 // All methods are safe for concurrent use by any number of producers and
 // consumers. The zero value is not usable; call NewDropRing.
 type DropRing[T any] struct {
 	mu     sync.Mutex
 	nempty *sync.Cond
+	nfull  *sync.Cond
 	buf    []T
 	head   int // index of the oldest element
 	n      int // queued count
@@ -30,6 +40,7 @@ func NewDropRing[T any](cap int) *DropRing[T] {
 	}
 	r := &DropRing[T]{buf: make([]T, cap)}
 	r.nempty = sync.NewCond(&r.mu)
+	r.nfull = sync.NewCond(&r.mu)
 	return r
 }
 
@@ -65,6 +76,84 @@ func (r *DropRing[T]) Push(v T) (dropped bool) {
 	return dropped
 }
 
+// PushEvict enqueues v without ever blocking, evicting the oldest
+// queued item when the ring is full. The displaced item is returned so
+// the caller can account for it (a shed message may carry obligations —
+// an in-flight count, a waiting flush). On a closed ring v itself is
+// the casualty: it is handed straight back as the eviction.
+func (r *DropRing[T]) PushEvict(v T) (evicted T, wasEvicted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return v, true
+	}
+	if r.n == len(r.buf) {
+		evicted = r.buf[r.head]
+		wasEvicted = true
+		var zero T
+		r.buf[r.head] = zero
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.nempty.Signal()
+	return evicted, wasEvicted
+}
+
+// PushReject enqueues v unless the ring is full or closed — drop-newest
+// shedding: items already queued are never displaced, so the first Cap
+// survivors keep their order. Reports whether v was accepted.
+func (r *DropRing[T]) PushReject(v T) (accepted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || r.n == len(r.buf) {
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.nempty.Signal()
+	return true
+}
+
+// PushDeadline enqueues v, blocking while the ring is full until a
+// consumer frees a slot or d elapses; d <= 0 degenerates to PushReject.
+// Reports whether v was accepted — false means the deadline expired (or
+// the ring closed) with the ring still full, and the caller owns the
+// rejected item. Bounding the wait keeps cyclic producer/consumer
+// meshes (node goroutines sending to each other) deadlock-free: a
+// mutual stall resolves into sheds after d instead of hanging.
+func (r *DropRing[T]) PushDeadline(v T, d time.Duration) (accepted bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false
+	}
+	if r.n == len(r.buf) {
+		if d <= 0 {
+			return false
+		}
+		timedOut := false
+		t := time.AfterFunc(d, func() {
+			r.mu.Lock()
+			timedOut = true
+			r.mu.Unlock()
+			r.nfull.Broadcast()
+		})
+		defer t.Stop()
+		for r.n == len(r.buf) && !r.closed && !timedOut {
+			r.nfull.Wait()
+		}
+		if r.closed || r.n == len(r.buf) {
+			return false
+		}
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = v
+	r.n++
+	r.nempty.Signal()
+	return true
+}
+
 // Pop dequeues the oldest item, blocking while the ring is empty. It
 // returns ok=false only when the ring has been closed and fully drained
 // — queued items survive Close so a consumer can finish absorbing them.
@@ -82,6 +171,7 @@ func (r *DropRing[T]) Pop() (v T, ok bool) {
 	r.buf[r.head] = zero
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
+	r.nfull.Signal()
 	return v, true
 }
 
@@ -98,14 +188,17 @@ func (r *DropRing[T]) TryPop() (v T, ok bool) {
 	r.buf[r.head] = zero
 	r.head = (r.head + 1) % len(r.buf)
 	r.n--
+	r.nfull.Signal()
 	return v, true
 }
 
-// Close stops the ring accepting new items and wakes every blocked Pop.
-// Items already queued remain poppable; Close is idempotent.
+// Close stops the ring accepting new items and wakes every blocked Pop
+// and PushDeadline. Items already queued remain poppable; Close is
+// idempotent.
 func (r *DropRing[T]) Close() {
 	r.mu.Lock()
 	r.closed = true
 	r.mu.Unlock()
 	r.nempty.Broadcast()
+	r.nfull.Broadcast()
 }

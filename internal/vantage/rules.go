@@ -3,6 +3,7 @@ package vantage
 import (
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"arq/internal/core"
 	"arq/internal/obsv"
@@ -32,6 +33,11 @@ var (
 	// mLearnDropped counts observations shed by the bounded learn-plane
 	// intake (RuleConfig.QueueCap) under sustained overload.
 	mLearnDropped = obsv.GetCounter("vantage.learn.dropped")
+	// mRuleStaleFlood counts queries flooded because the served snapshot
+	// was degraded: staler than the configured bound, or published
+	// before the learn plane last shed observations — rules mined from
+	// an incomplete stream are not trusted to narrow the forward set.
+	mRuleStaleFlood = obsv.GetCounter("vantage.rule_stale_flood")
 )
 
 // RuleConfig parameterizes the servent's association rule learner. It
@@ -67,6 +73,17 @@ type RuleConfig struct {
 	// vantage.learn.dropped) so learning lags but memory and hit-path
 	// latency stay bounded. 0 learns synchronously on the hit path.
 	QueueCap int
+	// StaleObs, when positive, degrades rule serving to flooding once
+	// that many observations have been absorbed since the last publish
+	// (see routing.AssocConfig.StaleObs; counted by
+	// vantage.rule_stale_flood). Independent of the bounds, a snapshot
+	// published before the learn plane last shed observations is always
+	// treated as degraded: shedding means the mined stream is
+	// incomplete, so flooding is safer than narrowed forwarding until a
+	// fresh publish.
+	StaleObs int
+	// StaleAge is the wall-clock staleness bound (0 disables).
+	StaleAge time.Duration
 }
 
 // DefaultRuleConfig returns the defaults used by the loopback tests:
@@ -101,6 +118,16 @@ type ruleServer struct {
 	// learner goroutines drain. nil means learn on the hit path.
 	queue *stream.DropRing[ruleObs]
 	wg    sync.WaitGroup
+
+	// Degradation bookkeeping (cfg.StaleObs/StaleAge). drops mirrors
+	// this server's share of vantage.learn.dropped; lastVer/dropsAtVer
+	// remember the drop count when the served version last changed, so
+	// degraded() can tell "shed since the last publish" apart from old
+	// history. Races between the three are benign: at worst a query or
+	// two floods that could have been rule-routed.
+	drops      atomic.Int64
+	lastVer    atomic.Uint64
+	dropsAtVer atomic.Int64
 }
 
 func newRuleServer(cfg RuleConfig) *ruleServer {
@@ -178,6 +205,7 @@ func (r *ruleServer) observe(upstreamConn, viaConn int) {
 	if r.queue != nil {
 		if r.queue.Push(ruleObs{upstreamConn, viaConn}) {
 			mLearnDropped.Inc()
+			r.drops.Add(1)
 		}
 		return
 	}
@@ -205,12 +233,35 @@ func (r *ruleServer) learn(upstreamConn, viaConn int) {
 	r.pub.Observe()
 }
 
+// degraded reports whether the served snapshot should not be trusted to
+// narrow forwarding: the configured staleness bound is breached, or the
+// learn plane shed observations since the current version was published.
+// Always false when neither staleness bound is configured.
+func (r *ruleServer) degraded() bool {
+	if r.cfg.StaleObs <= 0 && r.cfg.StaleAge <= 0 {
+		return false
+	}
+	if ver := r.pub.Version(); ver != r.lastVer.Load() {
+		r.dropsAtVer.Store(r.drops.Load())
+		r.lastVer.Store(ver)
+	}
+	if r.drops.Load() != r.dropsAtVer.Load() {
+		return true
+	}
+	return r.pub.Stale(int64(r.cfg.StaleObs), r.cfg.StaleAge)
+}
+
 // filter narrows a query's flood targets to the learned top-k connections
 // for its upstream, reading the published snapshot lock-free. Falls back
-// to the full target list when nothing is learned for this upstream or no
-// learned consequent is currently connected.
+// to the full target list when nothing is learned for this upstream, no
+// learned consequent is currently connected, or the snapshot is degraded
+// (stale or mined from a shed-lossy stream — see RuleConfig.StaleObs).
 func (r *ruleServer) filter(upstreamConn int, targets []*peerConn) []*peerConn {
 	if upstreamConn < 0 || len(targets) <= 1 {
+		return targets
+	}
+	if r.degraded() {
+		mRuleStaleFlood.Inc()
 		return targets
 	}
 	hosts := r.pub.View().Consequents(connHost(upstreamConn), r.cfg.TopK)

@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"arq/internal/fault"
 	"arq/internal/keyword"
 	"arq/internal/obsv"
 	"arq/internal/wire"
@@ -50,8 +51,9 @@ type Servent struct {
 	id    wire.GUID
 	ln    net.Listener
 	wg    sync.WaitGroup
-	cap   *Capture    // optional trace capture
-	rules *ruleServer // optional association-rule routing
+	cap   *Capture       // optional trace capture
+	rules *ruleServer    // optional association-rule routing
+	fault fault.Injector // optional inbound-wire fault injection
 
 	mu      sync.Mutex
 	conns   map[int]*peerConn
@@ -87,6 +89,13 @@ type Options struct {
 	Rules *RuleConfig
 	// ServentID defaults to a listener-address-derived id.
 	ServentID wire.GUID
+	// Fault, when non-nil, injects faults on the inbound wire path: each
+	// decoded message rolls OnSend(connID, fault.Local) and may be
+	// dropped, delivered twice, or have its GUID corrupted before
+	// dispatch (exercising duplicate suppression and reverse-path loss).
+	// Fate.Delay is ignored here — TCP already reorders nothing, and
+	// stalling the read loop would just be Drop with extra steps.
+	Fault fault.Injector
 }
 
 // Listen starts a servent on addr (use "127.0.0.1:0" in tests).
@@ -99,6 +108,7 @@ func Listen(addr string, opts Options) (*Servent, error) {
 		id:      opts.ServentID,
 		ln:      ln,
 		cap:     opts.Capture,
+		fault:   opts.Fault,
 		conns:   make(map[int]*peerConn),
 		index:   keyword.NewIndex(),
 		seen:    make(map[wire.GUID]int),
@@ -220,6 +230,24 @@ func (s *Servent) NumConns() int {
 
 func (s *Servent) handle(from *peerConn, m *wire.Message) {
 	mMsgsIn.Inc()
+	if f := s.fault; f != nil {
+		fate := f.OnSend(from.id, fault.Local)
+		if fate.Drop {
+			return
+		}
+		if fate.Corrupt {
+			// A corrupted GUID breaks duplicate suppression on queries
+			// and severs the reverse path on query-hits.
+			m.ID[0] ^= 0xff
+		}
+		if fate.Duplicate {
+			s.dispatch(from, m)
+		}
+	}
+	s.dispatch(from, m)
+}
+
+func (s *Servent) dispatch(from *peerConn, m *wire.Message) {
 	switch m.Type {
 	case wire.TypePing:
 		s.handlePing(from, m)
