@@ -29,6 +29,7 @@ import (
 
 	"arq/internal/adapt"
 	"arq/internal/chaos"
+	"arq/internal/cluster"
 	"arq/internal/content"
 	"arq/internal/core"
 	"arq/internal/db"
@@ -48,7 +49,7 @@ var (
 	trials    = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
 	seed      = flag.Uint64("seed", 1, "master seed for all generators")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults)")
+	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults, transport)")
 	quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	jsonOut   = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -66,6 +67,9 @@ func rec(section, row string, m map[string]float64) {
 }
 
 func main() {
+	// A process launched by cluster.Run (the transport section) is a
+	// cluster node, not a benchmark: ChildMain runs the node and exits.
+	cluster.ChildMain()
 	flag.Parse()
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
@@ -136,6 +140,7 @@ func main() {
 	run("sharded", sharded)
 	run("rewire", rewire)
 	run("faults", faults)
+	run("transport", transportSection)
 
 	if *jsonOut != "" {
 		art.GoVersion = runtime.Version()
@@ -768,6 +773,50 @@ func faults() {
 			"stale_fallbacks": float64(stale),
 			"msg_drops":       float64(drops),
 			"down_drops":      float64(down),
+		})
+	}
+	emit(t)
+}
+
+// transportSection runs the servent as a real N-process localhost
+// cluster (internal/cluster re-execs this binary per node) and records
+// socket-level throughput and query latency per process count. The
+// recorded msg/latency keys are perf keys for arqcheck (timing on a
+// shared runner only fails CI at a 10x slowdown); the net-smoke CI job
+// owns the hard success-rate gate.
+func transportSection() {
+	counts := []int{2, 4, 8}
+	warmQ, measure := 100, 100
+	if *quick {
+		warmQ, measure = 30, 30
+	}
+	t := metrics.NewTable(fmt.Sprintf("transport: N-process localhost servent cluster, ring+chord overlay, %d measured queries per node", measure),
+		"processes", "success", "msgs/s in", "p50 ms", "p99 ms", "sheds")
+	for _, n := range counts {
+		res, err := cluster.Run(cluster.Config{
+			N: n, Warm: warmQ, Queries: measure, Seed: int64(*seed),
+			Timeout: 3 * time.Minute,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "arqbench: transport cluster n=%d: %v\n", n, err)
+			os.Exit(1)
+		}
+		msgNS := 0.0
+		if res.MsgsIn > 0 {
+			msgNS = float64(res.DurationNS) / float64(res.MsgsIn)
+		}
+		t.AddRow(fmt.Sprintf("%d", n), res.SuccessRate,
+			fmt.Sprintf("%.0f", res.MsgsPerSec),
+			fmt.Sprintf("%.2f", float64(res.P50NS)/1e6),
+			fmt.Sprintf("%.2f", float64(res.P99NS)/1e6),
+			fmt.Sprintf("%d", res.QueueSheds))
+		rec("transport", fmt.Sprintf("procs%d", n), map[string]float64{
+			"procs":    float64(n),
+			"hit_rate": res.SuccessRate,
+			"msg_ns":   msgNS,
+			"p50_ns":   float64(res.P50NS),
+			"p99_ns":   float64(res.P99NS),
+			"sheds":    float64(res.QueueSheds),
 		})
 	}
 	emit(t)

@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"arq/internal/chaos"
+	"arq/internal/cluster"
 	"arq/internal/content"
 	"arq/internal/core"
 	"arq/internal/metrics"
@@ -40,7 +41,18 @@ var (
 )
 
 func main() {
+	// A process launched by cluster.Run is a cluster node, not a CLI:
+	// ChildMain runs the node and exits before any flag parsing.
+	cluster.ChildMain()
 	flag.Parse()
+	if *netN > 0 {
+		runNetCluster()
+		return
+	}
+	if *listenAddr != "" {
+		runListen()
+		return
+	}
 	if *chaosRun {
 		runChaos()
 		return

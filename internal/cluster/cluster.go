@@ -1,0 +1,525 @@
+// Package cluster runs the vantage servent as an N-process localhost
+// cluster: one OS process per node, real TCP sockets between them
+// (internal/transport), association-rule routing warmed from routed
+// hits (internal/vantage), and a file-based rendezvous protocol under a
+// shared directory so the processes can find each other and advance in
+// lock step without any coordinator socket.
+//
+// The parent (Run) re-execs its own binary once per node with the
+// node's JSON config in the ARQ_CLUSTER_NODE environment variable; a
+// hosting command calls ChildMain first thing in main(), which is a
+// no-op in the parent and runs the node then exits in a child. Each
+// child:
+//
+//  1. listens on 127.0.0.1:0 and publishes its address as addr.<id>,
+//  2. waits for all N addresses, dials its ring+chord neighbours
+//     ((i+1)%N and (i+2)%N), and publishes ready.<id>,
+//  3. after the ready barrier, floods Warm queries to seed the rule
+//     learner on every intermediate node,
+//  4. after the warm barrier, issues Queries measured queries and
+//     writes per-query latencies plus its transport counters as
+//     result.<id>,
+//  5. waits for every result file (so its sockets outlive its peers'
+//     measurements), closes the servent, verifies its goroutines are
+//     reaped, and exits.
+//
+// Content placement and the query mix are deterministic in (Seed, N):
+// topic t of a 4*N-topic universe is owned by nodes t%N and (t+1)%N,
+// and each node draws 70% of its queries from topics owned by its ring
+// successors (warm paths the learner can narrow) and 30% uniformly.
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"arq/internal/obsv"
+	"arq/internal/transport"
+	"arq/internal/vantage"
+)
+
+// ChildEnv is the environment variable carrying a child node's JSON
+// config; its presence turns a process into a cluster node.
+const ChildEnv = "ARQ_CLUSTER_NODE"
+
+// mQueryNS records measured-phase query latencies (hit queries only).
+var mQueryNS = obsv.GetHistogram("cluster.query_ns", obsv.DurationBuckets())
+
+// NodeConfig is one child process's share of the cluster plan.
+type NodeConfig struct {
+	ID      int    `json:"id"`
+	N       int    `json:"n"`
+	Dir     string `json:"dir"` // shared rendezvous directory
+	Warm    int    `json:"warm"`
+	Queries int    `json:"queries"`
+	TTL     int    `json:"ttl"`
+	Seed    int64  `json:"seed"`
+	// QueryTimeoutMS bounds one query's wait for its first hit.
+	QueryTimeoutMS int `json:"query_timeout_ms"`
+	// OutboxCap bounds each connection's outbound queue (0 = transport
+	// default).
+	OutboxCap int `json:"outbox_cap"`
+}
+
+// NodeResult is what one child reports back through result.<id>.
+type NodeResult struct {
+	ID          int     `json:"id"`
+	Queries     int     `json:"queries"`
+	Hits        int     `json:"hits"`
+	LatenciesNS []int64 `json:"latencies_ns"` // one per hit query
+	DurationNS  int64   `json:"duration_ns"`  // measured phase wall time
+	// Transport counters over the measured phase (this process only).
+	MsgsIn     int64 `json:"msgs_in"`
+	MsgsOut    int64 `json:"msgs_out"`
+	BytesIn    int64 `json:"bytes_in"`
+	BytesOut   int64 `json:"bytes_out"`
+	QueueSheds int64 `json:"queue_sheds"`
+	// Whole-process lifecycle counters.
+	Dials        int64 `json:"dials"`
+	AcceptErrors int64 `json:"accept_errors"`
+	// LeakedGoroutines is how many goroutines remained above the
+	// process baseline after the servent closed (0 = clean).
+	LeakedGoroutines int `json:"leaked_goroutines"`
+}
+
+// Config drives a whole cluster run from the parent.
+type Config struct {
+	// Bin is the executable to re-exec per node ("" = this binary).
+	Bin string
+	// N is the process count (min 2).
+	N int
+	// Warm and Queries are per-node query counts for the two phases.
+	Warm    int
+	Queries int
+	// TTL is the query TTL (0 = 7, ample for the ring+chord diameter).
+	TTL  int
+	Seed int64
+	// Dir, when set, is used as the rendezvous directory and kept
+	// afterwards (child logs land there as node.<id>.log); "" uses a
+	// temp dir removed on success.
+	Dir string
+	// Timeout bounds the whole run; on expiry children are killed and
+	// Run fails (0 = 2 minutes).
+	Timeout time.Duration
+	// QueryTimeout bounds each query's wait for a hit (0 = 2s).
+	QueryTimeout time.Duration
+}
+
+// Result aggregates the cluster run for reporting.
+type Result struct {
+	Procs       int
+	Queries     int
+	Hits        int
+	SuccessRate float64
+	P50NS       int64
+	P99NS       int64
+	MsgsIn      int64
+	MsgsOut     int64
+	BytesIn     int64
+	BytesOut    int64
+	QueueSheds  int64
+	Dials       int64
+	AcceptErrs  int64
+	// MsgsPerSec is cluster-wide inbound frames per second over the
+	// measured phase.
+	MsgsPerSec       float64
+	DurationNS       int64
+	LeakedGoroutines int
+	PerNode          []NodeResult
+}
+
+// Universe returns the topic-universe size for an N-node cluster.
+func Universe(n int) int { return 4 * n }
+
+// Owners returns the two nodes holding topic t.
+func Owners(t, n int) (int, int) { return t % n, (t + 1) % n }
+
+// SearchString is the query text for a topic; its tokens conjunctively
+// match exactly that topic's files.
+func SearchString(t int) string { return fmt.Sprintf("topic-%03d keywords", t) }
+
+// Library builds node id's deterministic shared library: one file per
+// owned topic per replica shard.
+func Library(id, n int) []vantage.SharedFile {
+	var lib []vantage.SharedFile
+	for t := 0; t < Universe(n); t++ {
+		a, b := Owners(t, n)
+		shard := -1
+		if a == id {
+			shard = 0
+		} else if b == id {
+			shard = 1
+		}
+		if shard < 0 {
+			continue
+		}
+		lib = append(lib, vantage.SharedFile{
+			Name: fmt.Sprintf("topic-%03d keywords shard%d.dat", t, shard),
+			Size: uint32(1024 * (t + 1)),
+		})
+	}
+	return lib
+}
+
+// Neighbours returns the ring+chord dial set for node id: (id+1)%n and
+// (id+2)%n, deduplicated and never self.
+func Neighbours(id, n int) []int {
+	var out []int
+	for _, d := range []int{1, 2} {
+		p := (id + d) % n
+		if p == id {
+			continue
+		}
+		dup := false
+		for _, q := range out {
+			if q == p {
+				dup = true
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// pickTopic draws one query topic for node id: 70% from topics owned by
+// a ring successor but not by id (paths the rule learner warms), 30%
+// uniform over topics id does not own. When exclusion empties a pool
+// (tiny N replicates everything everywhere) the draw falls back to the
+// whole universe — a self-owned topic still hits via its other replica.
+func pickTopic(r *rand.Rand, id, n int) int {
+	u := Universe(n)
+	ownedBySelf := func(t int) bool { a, b := Owners(t, n); return a == id || b == id }
+	var hot, cold []int
+	succ := map[int]bool{}
+	for _, p := range Neighbours(id, n) {
+		succ[p] = true
+	}
+	for t := 0; t < u; t++ {
+		if ownedBySelf(t) {
+			continue
+		}
+		cold = append(cold, t)
+		a, b := Owners(t, n)
+		if succ[a] || succ[b] {
+			hot = append(hot, t)
+		}
+	}
+	pool := cold
+	if len(hot) > 0 && r.Float64() < 0.7 {
+		pool = hot
+	}
+	if len(pool) == 0 {
+		return r.Intn(u)
+	}
+	return pool[r.Intn(len(pool))]
+}
+
+// ChildMain turns this process into a cluster node when ChildEnv is set
+// and never returns in that case; in the parent it is a no-op. Hosting
+// commands call it before flag parsing.
+func ChildMain() {
+	raw := os.Getenv(ChildEnv)
+	if raw == "" {
+		return
+	}
+	var cfg NodeConfig
+	if err := json.Unmarshal([]byte(raw), &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster node: bad config:", err)
+		os.Exit(1)
+	}
+	if err := runNode(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "cluster node:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// awaitFiles blocks until n files named <prefix>.<id> exist under dir —
+// the cluster's phase barrier. The deadline turns a dead peer into an
+// error instead of a hang.
+func awaitFiles(dir, prefix string, n int, deadline time.Time) error {
+	for {
+		matches, err := filepath.Glob(filepath.Join(dir, prefix+".*"))
+		if err != nil {
+			return err
+		}
+		if len(matches) >= n {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("cluster: %d/%d %s files after deadline", len(matches), n, prefix)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func writeMark(dir, prefix string, id int, body []byte) error {
+	tmp := filepath.Join(dir, fmt.Sprintf(".%s.%d.tmp", prefix, id))
+	if err := os.WriteFile(tmp, body, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, fmt.Sprintf("%s.%d", prefix, id)))
+}
+
+func runNode(cfg NodeConfig) error {
+	if cfg.TTL <= 0 {
+		cfg.TTL = 7
+	}
+	if cfg.QueryTimeoutMS <= 0 {
+		cfg.QueryTimeoutMS = 2000
+	}
+	g0 := runtime.NumGoroutine()
+	deadline := time.Now().Add(90 * time.Second)
+	rules := vantage.DefaultRuleConfig()
+	s, err := vantage.Listen("127.0.0.1:0", vantage.Options{
+		Rules: &rules,
+		Net: &transport.Options{
+			NodeID:    cfg.ID,
+			OutboxCap: cfg.OutboxCap,
+			Shed:      transport.ShedDeadline,
+			ReadIdle:  30 * time.Second,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, f := range Library(cfg.ID, cfg.N) {
+		s.Share(f.Name, f.Size)
+	}
+	if err := writeMark(cfg.Dir, "addr", cfg.ID, []byte(s.Addr())); err != nil {
+		return err
+	}
+	if err := awaitFiles(cfg.Dir, "addr", cfg.N, deadline); err != nil {
+		return err
+	}
+	for _, p := range Neighbours(cfg.ID, cfg.N) {
+		b, err := os.ReadFile(filepath.Join(cfg.Dir, fmt.Sprintf("addr.%d", p)))
+		if err != nil {
+			return err
+		}
+		if err := s.ConnectTo(string(b)); err != nil {
+			return fmt.Errorf("dial node %d: %w", p, err)
+		}
+	}
+	if err := writeMark(cfg.Dir, "ready", cfg.ID, nil); err != nil {
+		return err
+	}
+	if err := awaitFiles(cfg.Dir, "ready", cfg.N, deadline); err != nil {
+		return err
+	}
+
+	r := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919))
+	qt := time.Duration(cfg.QueryTimeoutMS) * time.Millisecond
+	for i := 0; i < cfg.Warm; i++ {
+		_, _ = s.Search(SearchString(pickTopic(r, cfg.ID, cfg.N)), byte(cfg.TTL), qt)
+	}
+	if err := writeMark(cfg.Dir, "warm", cfg.ID, nil); err != nil {
+		return err
+	}
+	if err := awaitFiles(cfg.Dir, "warm", cfg.N, deadline); err != nil {
+		return err
+	}
+
+	in0 := obsv.GetCounter("transport.msgs_in").Value()
+	out0 := obsv.GetCounter("transport.msgs_out").Value()
+	bin0 := obsv.GetCounter("transport.bytes_in").Value()
+	bout0 := obsv.GetCounter("transport.bytes_out").Value()
+	sheds0 := obsv.GetCounter("transport.queue_sheds").Value()
+	res := NodeResult{ID: cfg.ID, Queries: cfg.Queries}
+	start := time.Now()
+	for i := 0; i < cfg.Queries; i++ {
+		t0 := time.Now()
+		if _, err := s.Search(SearchString(pickTopic(r, cfg.ID, cfg.N)), byte(cfg.TTL), qt); err == nil {
+			ns := time.Since(t0).Nanoseconds()
+			res.Hits++
+			res.LatenciesNS = append(res.LatenciesNS, ns)
+			mQueryNS.Observe(ns)
+		}
+	}
+	res.DurationNS = time.Since(start).Nanoseconds()
+	res.MsgsIn = obsv.GetCounter("transport.msgs_in").Value() - in0
+	res.MsgsOut = obsv.GetCounter("transport.msgs_out").Value() - out0
+	res.BytesIn = obsv.GetCounter("transport.bytes_in").Value() - bin0
+	res.BytesOut = obsv.GetCounter("transport.bytes_out").Value() - bout0
+	res.QueueSheds = obsv.GetCounter("transport.queue_sheds").Value() - sheds0
+	res.Dials = obsv.GetCounter("transport.dials").Value()
+	res.AcceptErrors = obsv.GetCounter("transport.accept_errors").Value()
+
+	body, err := json.Marshal(&res)
+	if err != nil {
+		return err
+	}
+	if err := writeMark(cfg.Dir, "result", cfg.ID, body); err != nil {
+		return err
+	}
+	// Hold sockets open until every peer has finished measuring.
+	if err := awaitFiles(cfg.Dir, "result", cfg.N, deadline); err != nil {
+		return err
+	}
+	s.Close()
+	// Goroutine-leak check: transports must reap their loops.
+	leaked := 0
+	for end := time.Now().Add(5 * time.Second); ; {
+		leaked = runtime.NumGoroutine() - g0
+		if leaked <= 0 || time.Now().After(end) {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if leaked > 0 {
+		// Re-publish the result with the leak recorded.
+		res.LeakedGoroutines = leaked
+		if body, err := json.Marshal(&res); err == nil {
+			_ = os.WriteFile(filepath.Join(cfg.Dir, fmt.Sprintf("result.%d", cfg.ID)), body, 0o644)
+		}
+	}
+	fmt.Printf("node %d: %d/%d hits, %d msgs in, %d sheds, leaked %d\n",
+		cfg.ID, res.Hits, res.Queries, res.MsgsIn, res.QueueSheds, leaked)
+	return nil
+}
+
+// Run launches the cluster, waits for every child, and aggregates their
+// results.
+func Run(cfg Config) (*Result, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("cluster: need at least 2 processes, got %d", cfg.N)
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Minute
+	}
+	bin := cfg.Bin
+	if bin == "" {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, err
+		}
+		bin = exe
+	}
+	dir := cfg.Dir
+	keep := dir != ""
+	if keep {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	} else {
+		var err error
+		dir, err = os.MkdirTemp("", "arqcluster")
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	cmds := make([]*exec.Cmd, cfg.N)
+	logs := make([]*os.File, cfg.N)
+	defer func() {
+		for _, c := range cmds {
+			if c != nil && c.Process != nil {
+				_ = c.Process.Kill()
+			}
+		}
+		for _, f := range logs {
+			if f != nil {
+				f.Close()
+			}
+		}
+	}()
+	for i := 0; i < cfg.N; i++ {
+		nc := NodeConfig{
+			ID: i, N: cfg.N, Dir: dir,
+			Warm: cfg.Warm, Queries: cfg.Queries, TTL: cfg.TTL, Seed: cfg.Seed,
+			QueryTimeoutMS: int(cfg.QueryTimeout / time.Millisecond),
+		}
+		raw, err := json.Marshal(&nc)
+		if err != nil {
+			return nil, err
+		}
+		lf, err := os.Create(filepath.Join(dir, fmt.Sprintf("node.%d.log", i)))
+		if err != nil {
+			return nil, err
+		}
+		logs[i] = lf
+		c := exec.Command(bin)
+		c.Env = append(os.Environ(), ChildEnv+"="+string(raw))
+		c.Stdout, c.Stderr = lf, lf
+		if err := c.Start(); err != nil {
+			return nil, fmt.Errorf("cluster: start node %d: %w", i, err)
+		}
+		cmds[i] = c
+	}
+
+	waitErr := make(chan error, 1)
+	go func() {
+		var first error
+		for i, c := range cmds {
+			if err := c.Wait(); err != nil && first == nil {
+				first = fmt.Errorf("node %d: %w (log: %s)", i, err, filepath.Join(dir, fmt.Sprintf("node.%d.log", i)))
+			}
+		}
+		waitErr <- first
+	}()
+	select {
+	case err := <-waitErr:
+		for i := range cmds {
+			cmds[i] = nil // all reaped
+		}
+		if err != nil {
+			return nil, err
+		}
+	case <-time.After(cfg.Timeout):
+		return nil, fmt.Errorf("cluster: run exceeded %v (logs under %s)", cfg.Timeout, dir)
+	}
+
+	res := &Result{Procs: cfg.N}
+	var all []int64
+	var maxDur int64
+	for i := 0; i < cfg.N; i++ {
+		b, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("result.%d", i)))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %d left no result: %w", i, err)
+		}
+		var nr NodeResult
+		if err := json.Unmarshal(b, &nr); err != nil {
+			return nil, err
+		}
+		res.PerNode = append(res.PerNode, nr)
+		res.Queries += nr.Queries
+		res.Hits += nr.Hits
+		res.MsgsIn += nr.MsgsIn
+		res.MsgsOut += nr.MsgsOut
+		res.BytesIn += nr.BytesIn
+		res.BytesOut += nr.BytesOut
+		res.QueueSheds += nr.QueueSheds
+		res.Dials += nr.Dials
+		res.AcceptErrs += nr.AcceptErrors
+		res.LeakedGoroutines += nr.LeakedGoroutines
+		all = append(all, nr.LatenciesNS...)
+		if nr.DurationNS > maxDur {
+			maxDur = nr.DurationNS
+		}
+	}
+	res.DurationNS = maxDur
+	if res.Queries > 0 {
+		res.SuccessRate = float64(res.Hits) / float64(res.Queries)
+	}
+	if len(all) > 0 {
+		sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+		res.P50NS = all[len(all)/2]
+		res.P99NS = all[(len(all)*99)/100]
+	}
+	if maxDur > 0 {
+		res.MsgsPerSec = float64(res.MsgsIn) / (float64(maxDur) / 1e9)
+	}
+	if !keep {
+		os.RemoveAll(dir)
+	}
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package fault
+
+// This file holds the injectors added for the socket-boundary fault
+// path (internal/transport): a static network partition, and a chain
+// combinator so a partition can be layered on top of a Seeded injector
+// (partition the cluster *and* keep probabilistic loss inside each
+// side).
+
+import "arq/internal/obsv"
+
+// mPartDrops counts messages dropped because their edge crossed a
+// partition boundary.
+var mPartDrops = obsv.GetCounter("fault.partition_drops")
+
+// Partition is a static Injector that drops every message whose
+// endpoints sit in different groups — the transport-level model of a
+// network partition between processes. Nodes never named in any group
+// share the implicit group 0, so a Partition built from one group
+// isolates that group from everyone else.
+type Partition struct {
+	group map[int]int
+}
+
+// NewPartition assigns each listed group of node ids its own side of
+// the partition (group i+1; unlisted nodes are group 0).
+func NewPartition(groups ...[]int) *Partition {
+	p := &Partition{group: make(map[int]int)}
+	for i, g := range groups {
+		for _, u := range g {
+			p.group[u] = i + 1
+		}
+	}
+	return p
+}
+
+// OnSend implements Injector: a message crossing groups is dropped.
+func (p *Partition) OnSend(from, to int) Fate {
+	if p.group[from] != p.group[to] {
+		mPartDrops.Inc()
+		return Fate{Drop: true}
+	}
+	return Fate{}
+}
+
+// Down implements Injector: a partition crashes nobody.
+func (p *Partition) Down(int) bool { return false }
+
+// Tick implements Injector: a static partition has no churn clock.
+func (p *Partition) Tick() {}
+
+// Chain composes injectors: a message's fate is the union of every
+// member's verdict (first Drop short-circuits, Delays add, Duplicate
+// and Corrupt OR together), a node is down if any member says so, and
+// Tick advances every member's clock.
+type Chain []Injector
+
+// OnSend implements Injector.
+func (c Chain) OnSend(from, to int) Fate {
+	var out Fate
+	for _, inj := range c {
+		f := inj.OnSend(from, to)
+		if f.Drop {
+			return Fate{Drop: true}
+		}
+		out.Duplicate = out.Duplicate || f.Duplicate
+		out.Corrupt = out.Corrupt || f.Corrupt
+		out.Delay += f.Delay
+	}
+	return out
+}
+
+// Down implements Injector.
+func (c Chain) Down(u int) bool {
+	for _, inj := range c {
+		if inj.Down(u) {
+			return true
+		}
+	}
+	return false
+}
+
+// Tick implements Injector.
+func (c Chain) Tick() {
+	for _, inj := range c {
+		inj.Tick()
+	}
+}

@@ -1,0 +1,110 @@
+package fault
+
+import (
+	"testing"
+
+	"arq/internal/obsv"
+)
+
+// scripted is a test injector returning a fixed fate and recording how
+// often it was consulted, to observe Chain's short-circuit behaviour.
+type scripted struct {
+	fate   Fate
+	down   bool
+	onSend int
+	ticks  int
+}
+
+func (s *scripted) OnSend(_, _ int) Fate { s.onSend++; return s.fate }
+func (s *scripted) Down(int) bool        { return s.down }
+func (s *scripted) Tick()                { s.ticks++ }
+
+func TestPartitionGroups(t *testing.T) {
+	p := NewPartition([]int{1, 2}, []int{3})
+	// Node 4 is never listed: implicit group 0.
+	pd0 := obsv.GetCounter("fault.partition_drops").Value()
+	cases := []struct {
+		from, to int
+		drop     bool
+	}{
+		{1, 2, false}, {2, 1, false}, // same explicit group
+		{3, 3, false},              // self edge inside a group
+		{4, 5, false},              // both implicit group 0
+		{1, 3, true}, {3, 2, true}, // across explicit groups
+		{1, 4, true}, {4, 3, true}, // explicit vs implicit
+	}
+	drops := int64(0)
+	for _, tc := range cases {
+		got := p.OnSend(tc.from, tc.to)
+		if got.Drop != tc.drop {
+			t.Fatalf("OnSend(%d, %d).Drop = %v, want %v", tc.from, tc.to, got.Drop, tc.drop)
+		}
+		if got.Drop {
+			drops++
+		}
+		if got.Duplicate || got.Corrupt || got.Delay != 0 {
+			t.Fatalf("partition fates must be pure drops, got %+v", got)
+		}
+	}
+	if d := obsv.GetCounter("fault.partition_drops").Value() - pd0; d != drops {
+		t.Fatalf("partition_drops counted %d, want %d", d, drops)
+	}
+	if p.Down(1) || p.Down(4) {
+		t.Fatal("a partition crashes nobody")
+	}
+	p.Tick() // must not panic: a static partition has no clock
+}
+
+func TestChainCombinesFates(t *testing.T) {
+	dup := &scripted{fate: Fate{Duplicate: true, Delay: 2}}
+	corrupt := &scripted{fate: Fate{Corrupt: true, Delay: 3}}
+	c := Chain{dup, corrupt}
+	got := c.OnSend(1, 2)
+	if !got.Duplicate || !got.Corrupt || got.Delay != 5 || got.Drop {
+		t.Fatalf("chained fate = %+v, want duplicate+corrupt with delay 5", got)
+	}
+}
+
+func TestChainDropShortCircuits(t *testing.T) {
+	dropper := &scripted{fate: Fate{Drop: true}}
+	after := &scripted{fate: Fate{Duplicate: true}}
+	c := Chain{dropper, after}
+	got := c.OnSend(1, 2)
+	if !got.Drop || got.Duplicate {
+		t.Fatalf("fate after a drop = %+v, want a pure drop", got)
+	}
+	if after.onSend != 0 {
+		t.Fatal("injector after the dropper was consulted")
+	}
+}
+
+func TestChainDownAndTick(t *testing.T) {
+	up := &scripted{}
+	down := &scripted{down: true}
+	c := Chain{up, down}
+	if !c.Down(7) {
+		t.Fatal("chain missed a member's down verdict")
+	}
+	if (Chain{up, up}).Down(7) {
+		t.Fatal("chain invented a down verdict")
+	}
+	c.Tick()
+	if up.ticks != 1 || down.ticks != 1 {
+		t.Fatalf("ticks = %d, %d; Tick must reach every member", up.ticks, down.ticks)
+	}
+}
+
+// A Partition layered over a Seeded injector: the partition vetoes
+// cross-group edges outright while the Seeded member still rolls fates
+// inside each side.
+func TestChainPartitionOverSeeded(t *testing.T) {
+	part := NewPartition([]int{1, 2})
+	seeded := NewSeeded(Config{Seed: 42, Drop: 1.0})
+	c := Chain{part, seeded}
+	if !c.OnSend(1, 3).Drop {
+		t.Fatal("cross-partition edge survived")
+	}
+	if !c.OnSend(1, 2).Drop {
+		t.Fatal("PDrop=1 edge inside the partition survived")
+	}
+}

@@ -93,6 +93,50 @@ func (h *Histogram) Mean() float64 {
 	return float64(h.sum.Load()) / float64(n)
 }
 
+// Quantile estimates the q-quantile (q in [0,1]) of the observed values
+// by linear interpolation within the bucket holding the target rank. The
+// overflow bucket has no upper bound, so ranks landing there return the
+// highest finite bound — an underestimate, flagged by callers choosing
+// bounds that cover their data. Returns 0 before any observation.
+func (h *Histogram) Quantile(q float64) float64 {
+	n := h.n.Load()
+	if n == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	var seen float64
+	for i := range h.counts {
+		c := float64(h.counts[i].Load())
+		if c == 0 {
+			continue
+		}
+		if seen+c >= rank {
+			if i >= len(h.bounds) {
+				// Overflow bucket: no finite upper bound to interpolate to.
+				if len(h.bounds) == 0 {
+					return 0
+				}
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(h.bounds[i])
+			frac := (rank - seen) / c
+			return lo + (hi-lo)*frac
+		}
+		seen += c
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 func (h *Histogram) reset() {
 	for i := range h.counts {
 		h.counts[i].Store(0)

@@ -146,3 +146,40 @@ func TestDefaultRegistryHelpers(t *testing.T) {
 		t.Fatal("default snapshot missing counter")
 	}
 }
+
+func TestHistogramQuantile(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q", []int64{10, 20, 40})
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("quantile before observations = %v, want 0", got)
+	}
+	// 10 observations per bucket: (0,10], (10,20], overflow (>40).
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+		h.Observe(15)
+		h.Observe(100)
+	}
+	// Rank 15 of 30 sits halfway through the (10,20] bucket.
+	if got := h.Quantile(0.5); got != 15 {
+		t.Fatalf("p50 = %v, want 15", got)
+	}
+	// Ranks in the overflow bucket report the highest finite bound.
+	if got := h.Quantile(1); got != 40 {
+		t.Fatalf("p100 = %v, want 40 (highest finite bound)", got)
+	}
+	if got := h.Quantile(0.99); got != 40 {
+		t.Fatalf("p99 = %v, want 40", got)
+	}
+	// Out-of-range q clamps rather than panicking or extrapolating.
+	if lo, hi := h.Quantile(-1), h.Quantile(2); lo != h.Quantile(0) || hi != h.Quantile(1) {
+		t.Fatalf("clamping: q=-1 -> %v (want %v), q=2 -> %v (want %v)", lo, h.Quantile(0), hi, h.Quantile(1))
+	}
+	// An empty middle bucket interpolates within the buckets that hold data.
+	r2 := NewRegistry()
+	h2 := r2.Histogram("q2", []int64{1, 2, 3})
+	h2.Observe(1)
+	h2.Observe(3)
+	if got := h2.Quantile(1); got != 3 {
+		t.Fatalf("p100 with gap = %v, want 3", got)
+	}
+}

@@ -202,3 +202,24 @@ func (r *DropRing[T]) Close() {
 	r.nempty.Broadcast()
 	r.nfull.Broadcast()
 }
+
+// CloseDiscard closes the ring and throws away everything still queued,
+// returning the discard count so the caller can settle its accounting
+// (attempted == delivered + shed + discarded). Where Close hands queued
+// items to the consumer for a graceful drain, CloseDiscard is the abrupt
+// teardown: the consumer's next Pop reports closed immediately instead
+// of flushing frames to a socket that is about to disappear.
+func (r *DropRing[T]) CloseDiscard() (discarded int) {
+	r.mu.Lock()
+	r.closed = true
+	discarded = r.n
+	var zero T
+	for i := 0; i < r.n; i++ {
+		r.buf[(r.head+i)%len(r.buf)] = zero
+	}
+	r.head, r.n = 0, 0
+	r.mu.Unlock()
+	r.nempty.Broadcast()
+	r.nfull.Broadcast()
+	return discarded
+}

@@ -193,3 +193,64 @@ func TestDropRingCloseWakesBlockedPush(t *testing.T) {
 		t.Fatal("PushDeadline still blocked after Close")
 	}
 }
+
+// CloseDiscard is the abrupt teardown: everything queued is thrown away
+// and accounted, consumers wake immediately, producers shed.
+func TestDropRingCloseDiscard(t *testing.T) {
+	r := NewDropRing[int](8)
+	for i := 0; i < 5; i++ {
+		r.Push(i)
+	}
+	if n := r.CloseDiscard(); n != 5 {
+		t.Fatalf("CloseDiscard discarded %d, want 5", n)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("Pop returned an item after CloseDiscard")
+	}
+	if !r.Push(9) {
+		t.Fatal("Push accepted on a discarded ring")
+	}
+	if ok := r.PushReject(9); ok {
+		t.Fatal("PushReject accepted on a discarded ring")
+	}
+	if n := r.CloseDiscard(); n != 0 {
+		t.Fatalf("second CloseDiscard discarded %d, want 0", n)
+	}
+}
+
+// A Pop blocked on an empty ring wakes when CloseDiscard lands.
+func TestDropRingCloseDiscardWakesPop(t *testing.T) {
+	r := NewDropRing[int](4)
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := r.Pop()
+		done <- ok
+	}()
+	time.Sleep(10 * time.Millisecond)
+	r.CloseDiscard()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Fatal("blocked Pop produced an item from a discarded ring")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked Pop never woke after CloseDiscard")
+	}
+}
+
+// Close keeps queued items poppable; CloseDiscard does not — the two
+// teardown flavours a draining vs. dying transport connection needs.
+func TestDropRingCloseVsCloseDiscard(t *testing.T) {
+	g := NewDropRing[int](4)
+	g.Push(1)
+	g.Close()
+	if v, ok := g.Pop(); !ok || v != 1 {
+		t.Fatalf("graceful Close lost a queued item: %d, %v", v, ok)
+	}
+	d := NewDropRing[int](4)
+	d.Push(1)
+	d.CloseDiscard()
+	if _, ok := d.TryPop(); ok {
+		t.Fatal("CloseDiscard left a queued item poppable")
+	}
+}

@@ -13,13 +13,15 @@ package vantage
 import (
 	"errors"
 	"fmt"
-	"net"
+	"hash/fnv"
+	"os"
 	"sync"
 	"time"
 
 	"arq/internal/fault"
 	"arq/internal/keyword"
 	"arq/internal/obsv"
+	"arq/internal/transport"
 	"arq/internal/wire"
 )
 
@@ -43,14 +45,16 @@ type SharedFile struct {
 	Name  string
 }
 
-// Servent is a minimal Gnutella peer: it accepts and dials connections,
-// floods queries with TTL and GUID duplicate suppression, answers queries
-// that match its library, and routes query-hits back along the reverse
-// path.
+// Servent is a minimal Gnutella peer: it accepts and dials connections
+// through the real-socket layer (internal/transport), floods queries
+// with TTL and GUID duplicate suppression, answers queries that match
+// its library, and routes query-hits back along the reverse path. Every
+// outbound message rides a per-connection bounded outbox drained by the
+// transport's write loop, so a stalled peer sheds frames instead of
+// wedging the protocol goroutines.
 type Servent struct {
 	id    wire.GUID
-	ln    net.Listener
-	wg    sync.WaitGroup
+	tr    *transport.Transport
 	cap   *Capture       // optional trace capture
 	rules *ruleServer    // optional association-rule routing
 	fault fault.Injector // optional inbound-wire fault injection
@@ -65,17 +69,20 @@ type Servent struct {
 	closed  bool
 }
 
+// errShed reports a message not accepted by the connection's outbox.
+var errShed = errors.New("vantage: outbound message shed")
+
 type peerConn struct {
-	id   int
-	conn net.Conn
-	wmu  sync.Mutex
+	id int
+	c  *transport.Conn
 }
 
 func (p *peerConn) send(m *wire.Message) error {
-	p.wmu.Lock()
-	defer p.wmu.Unlock()
 	mMsgsOut.Inc()
-	return m.Encode(p.conn)
+	if !p.c.Send(m) {
+		return errShed
+	}
+	return nil
 }
 
 // Options configures a servent.
@@ -96,17 +103,23 @@ type Options struct {
 	// Fate.Delay is ignored here — TCP already reorders nothing, and
 	// stalling the read loop would just be Drop with extra steps.
 	Fault fault.Injector
+	// Net, when non-nil, overrides the socket-layer parameters: node id,
+	// outbox capacity and shed policy, read/write deadlines, and a
+	// second fault.Injector applied at the socket boundary (keyed by
+	// node ids, so drop/delay/partition apply between processes rather
+	// than between this servent's connections). The Handler, OnConn,
+	// and OnClose fields are owned by the servent and ignored.
+	Net *transport.Options
 }
+
+// drainTimeout bounds how long Close waits for queued outbound frames
+// to flush before sockets are torn down.
+const drainTimeout = time.Second
 
 // Listen starts a servent on addr (use "127.0.0.1:0" in tests).
 func Listen(addr string, opts Options) (*Servent, error) {
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return nil, err
-	}
 	s := &Servent{
 		id:      opts.ServentID,
-		ln:      ln,
 		cap:     opts.Capture,
 		fault:   opts.Fault,
 		conns:   make(map[int]*peerConn),
@@ -114,20 +127,59 @@ func Listen(addr string, opts Options) (*Servent, error) {
 		seen:    make(map[wire.GUID]int),
 		pending: make(map[wire.GUID]chan wire.QueryHit),
 	}
+	var topts transport.Options
+	if opts.Net != nil {
+		topts = *opts.Net
+	}
+	topts.Handler = func(c *transport.Conn, m *wire.Message) {
+		if pc, ok := c.Tag.(*peerConn); ok {
+			s.handle(pc, m)
+		}
+	}
+	topts.OnConn = s.register
+	topts.OnClose = s.unregister
+	tr, err := transport.Listen(addr, topts)
+	if err != nil {
+		return nil, err
+	}
+	s.tr = tr
 	if opts.Rules != nil {
 		s.rules = newRuleServer(*opts.Rules)
 		s.rules.start()
 	}
-	copy(s.id[:], ln.Addr().String())
-	s.wg.Add(1)
-	go s.acceptLoop()
+	copy(s.id[:], tr.Addr())
 	return s, nil
 }
 
-// Addr returns the listening address.
-func (s *Servent) Addr() string { return s.ln.Addr().String() }
+// register assigns the servent's small integer connection id (the
+// universe the capture and rule learner work over) to a new transport
+// connection. Runs before the connection's read loop starts, so setting
+// Tag here never races the handler.
+func (s *Servent) register(c *transport.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pc := &peerConn{id: s.nextCID, c: c}
+	s.nextCID++
+	c.Tag = pc
+	s.conns[pc.id] = pc
+}
 
-// Close shuts the servent down and waits for its goroutines.
+func (s *Servent) unregister(c *transport.Conn) {
+	pc, ok := c.Tag.(*peerConn)
+	if !ok {
+		return
+	}
+	s.mu.Lock()
+	delete(s.conns, pc.id)
+	s.mu.Unlock()
+}
+
+// Addr returns the listening address.
+func (s *Servent) Addr() string { return s.tr.Addr() }
+
+// Close shuts the servent down and waits for its goroutines: queued
+// outbound frames get a bounded drain, sockets close, and the rule
+// learn queue is absorbed before its workers stop.
 func (s *Servent) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -135,16 +187,8 @@ func (s *Servent) Close() {
 		return
 	}
 	s.closed = true
-	conns := make([]*peerConn, 0, len(s.conns))
-	for _, c := range s.conns {
-		conns = append(conns, c)
-	}
 	s.mu.Unlock()
-	_ = s.ln.Close()
-	for _, c := range conns {
-		_ = c.conn.Close()
-	}
-	s.wg.Wait()
+	s.tr.CloseDrain(drainTimeout)
 	if s.rules != nil {
 		// Connection goroutines are done, so no more observations can
 		// arrive; drain the learn queue and stop its workers.
@@ -162,63 +206,11 @@ func (s *Servent) Share(name string, size uint32) {
 	s.index.Add(int32(len(s.library)-1), name)
 }
 
-// ConnectTo dials another servent and performs the handshake.
+// ConnectTo dials another servent, performing the wire handshake and
+// transport hello exchange.
 func (s *Servent) ConnectTo(addr string) error {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return err
-	}
-	if err := wire.ClientHandshake(conn); err != nil {
-		_ = conn.Close()
-		return err
-	}
-	s.startConn(conn)
-	return nil
-}
-
-func (s *Servent) acceptLoop() {
-	defer s.wg.Done()
-	for {
-		conn, err := s.ln.Accept()
-		if err != nil {
-			return
-		}
-		s.wg.Add(1)
-		go func() {
-			defer s.wg.Done()
-			if err := wire.ServerHandshake(conn); err != nil {
-				_ = conn.Close()
-				return
-			}
-			s.startConn(conn)
-		}()
-	}
-}
-
-func (s *Servent) startConn(conn net.Conn) {
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		_ = conn.Close()
-		return
-	}
-	pc := &peerConn{id: s.nextCID, conn: conn}
-	s.nextCID++
-	s.conns[pc.id] = pc
-	s.mu.Unlock()
-
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		_ = wire.ReadLoop(conn, func(m *wire.Message) error {
-			s.handle(pc, m)
-			return nil
-		})
-		s.mu.Lock()
-		delete(s.conns, pc.id)
-		s.mu.Unlock()
-		_ = conn.Close()
-	}()
+	_, err := s.tr.Dial(addr)
+	return err
 }
 
 // NumConns reports the live connection count.
@@ -364,20 +356,30 @@ func (s *Servent) handleQueryHit(from *peerConn, m *wire.Message) {
 	}
 }
 
-// guidCounter derives unique query GUIDs for Search.
+// guidCounter derives unique query GUIDs for Search. The first half of
+// each GUID is an FNV hash of the servent's address salted with
+// per-process entropy, NOT the address bytes themselves: servents in
+// different processes share the "127.0.0." prefix and restart their
+// counters at zero, so raw-prefix GUIDs collide across an N-process
+// cluster and the nodes suppress each other's queries as duplicates.
 var guidCounter struct {
 	sync.Mutex
 	n uint64
 }
+
+var guidProcSalt = uint64(os.Getpid())*0x9e3779b97f4a7c15 ^ uint64(time.Now().UnixNano())
 
 func newGUID(seed string) wire.GUID {
 	guidCounter.Lock()
 	guidCounter.n++
 	n := guidCounter.n
 	guidCounter.Unlock()
+	h := fnv.New64a()
+	h.Write([]byte(seed))
+	salted := h.Sum64() ^ guidProcSalt
 	var g wire.GUID
-	copy(g[:], seed)
 	for i := 0; i < 8; i++ {
+		g[i] = byte(salted >> (8 * i))
 		g[8+i] = byte(n >> (8 * i))
 	}
 	return g

@@ -30,6 +30,10 @@ type GUID [16]byte
 // TTL(1) + hops(1) + payload length(4).
 const headerLen = 23
 
+// HeaderLen is the fixed descriptor header size in bytes, exported for
+// transports that account wire bytes per frame.
+const HeaderLen = headerLen
+
 // MaxPayload bounds accepted payloads; real servents enforced similar
 // limits to survive malformed peers.
 const MaxPayload = 64 * 1024
@@ -45,6 +49,9 @@ type Message struct {
 
 // ErrTooLarge reports a payload length beyond MaxPayload.
 var ErrTooLarge = errors.New("wire: payload too large")
+
+// WireSize returns the encoded size of the descriptor in bytes.
+func (m *Message) WireSize() int { return headerLen + len(m.Payload) }
 
 // Encode writes the descriptor to w in wire format.
 func (m *Message) Encode(w io.Writer) error {
