@@ -37,6 +37,7 @@ import (
 	"arq/internal/obsv"
 	"arq/internal/overlay"
 	"arq/internal/peer"
+	"arq/internal/peer/flat"
 	"arq/internal/report"
 	"arq/internal/routing"
 	"arq/internal/sim"
@@ -49,7 +50,7 @@ var (
 	trials    = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
 	seed      = flag.Uint64("seed", 1, "master seed for all generators")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults, transport)")
+	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults, transport, scale)")
 	quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	jsonOut   = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -141,6 +142,7 @@ func main() {
 	run("rewire", rewire)
 	run("faults", faults)
 	run("transport", transportSection)
+	run("scale", scale)
 
 	if *jsonOut != "" {
 		art.GoVersion = runtime.Version()
@@ -590,6 +592,90 @@ func network() {
 			"dup_per_query":  agg.AvgDuplicates,
 			"hit_hops":       agg.AvgHitHops,
 			"nodes_reached":  agg.AvgReached,
+		})
+	}
+	emit(t)
+}
+
+// scale measures the capacity envelope of the sequential engines: the
+// same flood workload on the map-based peer.Engine ("seq") and the
+// struct-of-arrays flat engine (peer/flat, "flat") at increasing overlay
+// sizes. Quick mode runs both at 10k nodes (the CI scale-smoke step);
+// the full run adds 100k for both and 1M for flat — the size the
+// ROADMAP's million-node item calls for, which the map engine cannot
+// reach in reasonable wall time. Recorded keys: ns_per_msg is a perf
+// key (only a 10x slowdown fails CI), heap_per_node_bytes is a memory
+// key (only 3x growth fails — this is what machine-checks "bytes/node
+// bounded" instead of eyeballing it), and success_rate/msgs_per_query
+// are deterministic given the seed. The printed table adds msgs/sec
+// for reading; it is derived from ns_per_msg and not recorded.
+func scale() {
+	type cfg struct {
+		engine string
+		n, nq  int
+	}
+	rows := []cfg{{"seq", 10000, 30}, {"flat", 10000, 30}}
+	if !*quick {
+		rows = append(rows,
+			cfg{"seq", 100000, 20}, cfg{"flat", 100000, 20}, cfg{"flat", 1000000, 10})
+	}
+	const ttl = 7
+	t := metrics.NewTable("Engine scale envelope — flood workload on a power-law overlay, clustered interests",
+		"engine", "nodes", "msgs/query", "msgs/sec", "ns/msg", "heap bytes/node", "success")
+	for _, c := range rows {
+		runtime.GC()
+		var before runtime.MemStats
+		runtime.ReadMemStats(&before)
+
+		rng := stats.NewRNG(*seed + 500)
+		g := overlay.GnutellaLike(rng, c.n)
+		model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+		factory := func(u int) peer.Router { return routing.Flood{} }
+		var e sim.NetEngine
+		if c.engine == "flat" {
+			e = flat.NewEngine(g, model, factory)
+		} else {
+			e = peer.NewEngine(g, model, factory)
+		}
+
+		// Two untimed warmup queries (separate RNG, so the measured
+		// workload below is unaffected) fault in the engine's arrays
+		// and grow its frontier buffers to steady state — the row
+		// measures query throughput, not first-touch page faults.
+		e.Workload(stats.NewRNG(*seed+11), 2, ttl)
+
+		start := time.Now()
+		res := e.Workload(stats.NewRNG(*seed+7), c.nq, ttl)
+		elapsed := time.Since(start)
+
+		// Retained heap per node: everything the engine keeps alive
+		// (graph, content, adjacency, dedup state) after the workload,
+		// settled by a GC so transient per-query garbage doesn't count.
+		runtime.GC()
+		var after runtime.MemStats
+		runtime.ReadMemStats(&after)
+		heapPerNode := 0.0
+		if after.HeapAlloc > before.HeapAlloc {
+			heapPerNode = float64(after.HeapAlloc-before.HeapAlloc) / float64(c.n)
+		}
+		runtime.KeepAlive(e)
+
+		agg := peer.Summarize(res)
+		totalMsgs := 0
+		for _, s := range res {
+			totalMsgs += s.Total()
+		}
+		nsPerMsg := float64(elapsed.Nanoseconds()) / float64(totalMsgs)
+		name := fmt.Sprintf("%s/N=%d", c.engine, c.n)
+		t.AddRow(c.engine, c.n, fmt.Sprintf("%.0f", agg.AvgMessages),
+			fmt.Sprintf("%.2fM", 1e9/nsPerMsg/1e6), fmt.Sprintf("%.1f", nsPerMsg),
+			fmt.Sprintf("%.0f", heapPerNode), agg.SuccessRate)
+		rec("scale", name, map[string]float64{
+			"nodes":               float64(c.n),
+			"success_rate":        agg.SuccessRate,
+			"msgs_per_query":      agg.AvgMessages,
+			"ns_per_msg":          nsPerMsg,
+			"heap_per_node_bytes": heapPerNode,
 		})
 	}
 	emit(t)

@@ -2,7 +2,8 @@
 // (written by `arqbench -json`) and fails when the candidate regresses
 // against the baseline: rule-set quality (coverage α / success ρ) drifting
 // beyond an absolute tolerance, counts moving beyond a relative tolerance,
-// or throughput metrics slowing down beyond a generous ratio. CI runs it
+// throughput metrics slowing down beyond a generous ratio, or memory
+// metrics (`*_bytes`) growing beyond a growth-only ratio. CI runs it
 // on every PR against the committed BENCH_baseline.json.
 //
 // Usage:
@@ -34,6 +35,8 @@ func main() {
 		"absolute slack below which count drift is ignored")
 	perfRatio := flag.Float64("perf-ratio", def.PerfRatio,
 		"fail when a *_ns metric exceeds baseline times this ratio (0 disables)")
+	memRatio := flag.Float64("mem-ratio", def.MemRatio,
+		"fail when a *_bytes metric exceeds baseline times this ratio (0 disables)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(),
 			"usage: arqcheck [flags] BASELINE.json CANDIDATE.json\n")
@@ -61,6 +64,7 @@ func main() {
 		CountRel:  *countRel,
 		CountAbs:  *countAbs,
 		PerfRatio: *perfRatio,
+		MemRatio:  *memRatio,
 	}
 	violations := report.Compare(baseline, candidate, tol)
 	if len(violations) > 0 {
@@ -74,6 +78,6 @@ func main() {
 	for _, s := range baseline.Sections {
 		nRows += len(s.Rows)
 	}
-	fmt.Printf("arqcheck: OK — %d sections, %d rows within tolerance (quality ±%.3g, counts ±%.0f%%, perf %.3gx)\n",
-		len(baseline.Sections), nRows, tol.Quality, tol.CountRel*100, tol.PerfRatio)
+	fmt.Printf("arqcheck: OK — %d sections, %d rows within tolerance (quality ±%.3g, counts ±%.0f%%, perf %.3gx, mem %.3gx)\n",
+		len(baseline.Sections), nRows, tol.Quality, tol.CountRel*100, tol.PerfRatio, tol.MemRatio)
 }

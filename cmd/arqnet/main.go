@@ -4,6 +4,7 @@
 //
 //	arqnet -router assoc -nodes 2000 -queries 5000
 //	arqnet -router kwalk -walkers 16
+//	arqnet -router flood -engine flat -nodes 1000000 -queries 200
 //	arqnet -router assoc -engine actor -parallel 8
 //	arqnet -chaos -nodes 200 -warm 2000 -queries 400
 package main
@@ -21,6 +22,7 @@ import (
 	"arq/internal/metrics"
 	"arq/internal/overlay"
 	"arq/internal/peer"
+	"arq/internal/peer/flat"
 	"arq/internal/routing"
 	"arq/internal/stats"
 )
@@ -34,7 +36,7 @@ var (
 	ttl      = flag.Int("ttl", 7, "query TTL")
 	walkers  = flag.Int("walkers", 16, "k for k-random walks")
 	seed     = flag.Uint64("seed", 42, "seed for topology, content, and workload")
-	engine   = flag.String("engine", "sequential", "sequential | actor (flood/kwalk/assoc)")
+	engine   = flag.String("engine", "sequential", "sequential | flat (struct-of-arrays) | actor (flood/kwalk/assoc)")
 	parallel = flag.Int("parallel", 4, "concurrent workload workers on the actor engine")
 	shards   = flag.Int("shards", 0, "assoc learn-plane shards (0/1 = single-writer learner)")
 	chaosRun = flag.Bool("chaos", false, "run the fault-injection chaos soak instead of a strategy comparison")
@@ -77,9 +79,13 @@ func main() {
 		runActor(g, model)
 		return
 	}
+	if *engine != "sequential" && *engine != "flat" {
+		fmt.Fprintf(os.Stderr, "arqnet: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
 
 	// Baseline flood for comparison.
-	ef := peer.NewEngine(g, model, func(u int) peer.Router { return routing.Flood{} })
+	ef := newQueryEngine(g, model, func(u int) peer.Router { return routing.Flood{} })
 	floodAgg := peer.Summarize(routing.RunWorkload(stats.NewRNG(*seed+1),
 		&routing.OneShot{Label: "flood", E: ef, TTL: *ttl}, ef, *nq))
 
@@ -139,8 +145,19 @@ func assocCfg() routing.AssocConfig {
 	return cfg
 }
 
-func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, *peer.Engine, bool, error) {
-	mk := func(f func(u int) peer.Router) *peer.Engine { return peer.NewEngine(g, model, f) }
+// newQueryEngine builds the sequential engine selected by -engine:
+// "flat" is the struct-of-arrays engine (peer/flat), anything else the
+// map-based peer.Engine. Both produce identical per-query stats (pinned
+// by the flat package's golden test); flat is the one that scales.
+func newQueryEngine(g *overlay.Graph, model *content.Model, f func(u int) peer.Router) peer.QueryEngine {
+	if *engine == "flat" {
+		return flat.NewEngine(g, model, f)
+	}
+	return peer.NewEngine(g, model, f)
+}
+
+func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, peer.QueryEngine, bool, error) {
+	mk := func(f func(u int) peer.Router) peer.QueryEngine { return newQueryEngine(g, model, f) }
 	switch *router {
 	case "flood":
 		e := mk(func(u int) peer.Router { return routing.Flood{} })

@@ -9,6 +9,12 @@
 //	arqsim -policy adaptive -window 50 -threshold 10
 //	arqsim -policy lazy -interval 10 -trace pairs.jsonl -block 10000
 //	arqsim -policy sliding -csv > sliding.csv
+//
+// With -net it instead drives a message-level network simulation through
+// the same block/series harness (sim.RunNet), choosing the query engine
+// with -engine:
+//
+//	arqsim -net -engine flat -nodes 100000 -trials 5 -block 200
 package main
 
 import (
@@ -16,8 +22,14 @@ import (
 	"fmt"
 	"os"
 
+	"arq/internal/content"
 	"arq/internal/core"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/peer/flat"
+	"arq/internal/routing"
 	"arq/internal/sim"
+	"arq/internal/stats"
 	"arq/internal/trace"
 	"arq/internal/tracegen"
 )
@@ -35,10 +47,20 @@ var (
 	traceFile = flag.String("trace", "", "JSONL trace of pairs (default: built-in generator)")
 	csvOut    = flag.Bool("csv", false, "emit per-block CSV instead of a report")
 	everyN    = flag.Int("every", 10, "print every Nth block in report mode")
+
+	netMode   = flag.Bool("net", false, "run a message-level network simulation instead of the policy simulator")
+	netEngine = flag.String("engine", "seq", "net: seq (map-based) | flat (struct-of-arrays) query engine")
+	netRouter = flag.String("router", "flood", "net: flood | assoc per-node router")
+	netNodes  = flag.Int("nodes", 2000, "net: overlay size")
+	netTTL    = flag.Int("ttl", 7, "net: query TTL")
 )
 
 func main() {
 	flag.Parse()
+	if *netMode {
+		runNet()
+		return
+	}
 
 	p, err := buildPolicy()
 	if err != nil {
@@ -78,6 +100,57 @@ func main() {
 	fmt.Println()
 	fmt.Printf("rule-set size: mean %.0f rules (min %.0f, max %.0f)\n",
 		res.RuleCount.Mean(), res.RuleCount.Min(), res.RuleCount.Max())
+}
+
+// runNet drives -trials blocks of -block queries each through the
+// selected network engine and prints the per-block series — the
+// network-level analogue of the policy report, produced by the same
+// sim harness.
+func runNet() {
+	var factory func(u int) peer.Router
+	switch *netRouter {
+	case "flood":
+		factory = func(u int) peer.Router { return routing.Flood{} }
+	case "assoc":
+		factory = func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) }
+	default:
+		fmt.Fprintf(os.Stderr, "arqsim: unknown net router %q\n", *netRouter)
+		os.Exit(2)
+	}
+	if *netEngine != "seq" && *netEngine != "flat" {
+		fmt.Fprintf(os.Stderr, "arqsim: unknown net engine %q\n", *netEngine)
+		os.Exit(2)
+	}
+	spec := sim.NetSpec{
+		Name: fmt.Sprintf("%s/%s", *netEngine, *netRouter),
+		Engine: func() sim.NetEngine {
+			rng := stats.NewRNG(*seed)
+			g := overlay.GnutellaLike(rng, *netNodes)
+			m := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+			if *netEngine == "flat" {
+				return flat.NewEngine(g, m, factory)
+			}
+			return peer.NewEngine(g, m, factory)
+		},
+		Seed:   *seed + 1,
+		Blocks: *trials, BlockSize: *blockSize,
+		TTL: *netTTL,
+	}
+	res := sim.RunNet(spec)
+
+	if *csvOut {
+		fmt.Print("block,coverage,success\n")
+		for i := range res.Coverage.Values {
+			fmt.Printf("%d,%.6f,%.6f\n", i+1, res.Coverage.Values[i], res.Success.Values[i])
+		}
+		return
+	}
+	fmt.Printf("net engine=%s router=%s nodes=%d ttl=%d block=%d trials=%d\n",
+		*netEngine, *netRouter, *netNodes, *netTTL, *blockSize, res.Trials)
+	fmt.Printf("coverage  %s  avg=%.3f\n", res.Coverage.Sparkline(60), res.MeanCoverage())
+	fmt.Printf("success   %s  avg=%.3f\n", res.Success.Sparkline(60), res.MeanSuccess())
+	fmt.Printf("wall: %.2fs (%.0f queries/sec)\n", float64(res.WallNanos)/1e9,
+		float64(res.Trials**blockSize)/(float64(res.WallNanos)/1e9))
 }
 
 func buildPolicy() (core.Policy, error) {

@@ -110,6 +110,29 @@ type ActorNet struct {
 type nodeQueryState struct {
 	visited bool
 	parent  int
+	// q backs the retirement sweep: once q.done is closed no message for
+	// the query exists anywhere in the net (the in-flight counter hit
+	// zero), so the entry can never be read again and is safe to delete.
+	q *actorQuery
+}
+
+// stateSweepEvery is how many messages a node processes between sweeps
+// of its per-query dedup/reverse-path state. Sweeping retires entries of
+// completed queries, bounding live entries per node to roughly the
+// queries it touched since the last sweep plus those still in flight —
+// instead of growing linearly with every query of a long workload.
+const stateSweepEvery = 128
+
+// sweepState retires node u's state entries for completed queries. Only
+// u's own goroutine calls it, so no locking is needed.
+func (a *ActorNet) sweepState(u int) {
+	for id, st := range a.nodeState[u] {
+		select {
+		case <-st.q.done:
+			delete(a.nodeState[u], id)
+		default:
+		}
+	}
 }
 
 type actorQuery struct {
@@ -280,6 +303,7 @@ func (a *ActorNet) finish(q *actorQuery) {
 
 func (a *ActorNet) nodeLoop(u int) {
 	defer a.wg.Done()
+	sinceSweep := 0
 	for {
 		m, ok := a.inbox[u].Pop()
 		if !ok {
@@ -289,6 +313,10 @@ func (a *ActorNet) nodeLoop(u int) {
 			a.nodeState[u] = make(map[QueryID]*nodeQueryState)
 			m.flush.Done()
 			continue
+		}
+		if sinceSweep++; sinceSweep >= stateSweepEvery {
+			sinceSweep = 0
+			a.sweepState(u)
 		}
 		if m.stallNs > 0 {
 			// Slow-peer stall: this node's whole loop lags, delaying
@@ -315,24 +343,21 @@ func (a *ActorNet) handleQuery(u int, m actorMsg) {
 	q := m.q
 	st := a.nodeState[u][q.meta.ID]
 	if st == nil {
-		st = &nodeQueryState{parent: m.from}
+		st = &nodeQueryState{parent: m.from, q: q}
 		a.nodeState[u][q.meta.ID] = st
 	}
 	walk := a.routers[u].Walk()
-	if !walk {
-		if st.visited {
-			q.duplicates.Add(1)
-			return
-		}
+	o := EvalDelivery(a.content, q.meta.Origin, u, q.meta.Category, walk, st.visited, m.ttl)
+	if o.Duplicate {
+		q.duplicates.Add(1)
+		return
 	}
-	first := !st.visited
 	st.visited = true
-	if first {
+	if o.First {
 		q.reached.Add(1)
 	}
 
-	hosts := u != q.meta.Origin && a.content.Hosts(u, q.meta.Category)
-	if hosts && first {
+	if o.Hit {
 		q.hits.Add(1)
 		if a.fault == nil {
 			// Perfect network: the hit's return is guaranteed, so the
@@ -347,11 +372,11 @@ func (a *ActorNet) handleQuery(u int, m actorMsg) {
 			a.send(m.from, actorMsg{q: q, from: u, hit: true, via: u, hitHops: m.hops})
 		}
 	}
-	if hosts && walk {
+	if o.Terminate {
 		return // a walker terminates on matching content
 	}
 
-	if m.ttl <= 0 {
+	if !o.Forward {
 		return
 	}
 	meta := q.meta
@@ -404,19 +429,11 @@ func recordFirstHit(q *actorQuery, hops int) {
 // their messages (and hence what learning routers observe when) differs.
 // workers <= 1 degenerates to the sequential driver.
 func (a *ActorNet) Workload(rng *stats.RNG, nQueries, ttl, workers int) []Stats {
-	type job struct {
-		origin int
-		cat    trace.InterestID
-	}
-	jobs := make([]job, nQueries)
-	for i := range jobs {
-		jobs[i].origin = rng.Intn(a.g.N())
-		jobs[i].cat = a.content.DrawQuery(rng, jobs[i].origin)
-	}
+	jobs := DrawWorkload(rng, a.content, a.g.N(), nQueries)
 	out := make([]Stats, nQueries)
 	if workers <= 1 {
 		for i, j := range jobs {
-			out[i] = a.RunQuery(j.origin, j.cat, ttl)
+			out[i] = a.RunQuery(j.Origin, j.Category, ttl)
 		}
 		return out
 	}
@@ -434,7 +451,7 @@ func (a *ActorNet) Workload(rng *stats.RNG, nQueries, ttl, workers int) []Stats 
 				if i >= len(jobs) {
 					return
 				}
-				out[i] = a.RunQuery(jobs[i].origin, jobs[i].cat, ttl)
+				out[i] = a.RunQuery(jobs[i].Origin, jobs[i].Category, ttl)
 			}
 		}()
 	}
@@ -475,6 +492,6 @@ func (a *ActorNet) RunQuery(origin int, category trace.InterestID, ttl int) Stat
 		st.Found = true
 		st.FirstHitHops = int(fh - 1)
 	}
-	record(&st)
+	RecordQuery(&st)
 	return st
 }

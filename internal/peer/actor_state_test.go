@@ -1,0 +1,51 @@
+package peer
+
+import (
+	"testing"
+
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/stats"
+)
+
+// liveQueryStates counts per-query state entries still held across all
+// nodes. Only safe to call while the net is idle (no queries in flight):
+// node goroutines touch their shard only while processing a message.
+func (a *ActorNet) liveQueryStates() int {
+	total := 0
+	for u := range a.nodeState {
+		total += len(a.nodeState[u])
+	}
+	return total
+}
+
+// TestActorStateRetirement is the regression test for unbounded
+// GUID-dedup growth: per-node query-state entries used to survive for
+// the lifetime of the net (one entry per node per query, forever), so a
+// long workload's memory grew linearly with total queries. The periodic
+// sweep retires entries of completed queries; live entries per node must
+// stay bounded by the sweep interval, not by the workload length.
+func TestActorStateRetirement(t *testing.T) {
+	rng := stats.NewRNG(31)
+	const n = 40
+	g := overlay.Random(rng, n, 4)
+	m := content.Build(rng.Split(), n, content.DefaultConfig())
+	a := NewActorNet(g, m, func(u int) Router { return floodRouter{} })
+	defer a.Close()
+
+	const nQueries = 600
+	a.Workload(stats.NewRNG(7), nQueries, 6, 1)
+
+	// Without retirement every node holds ~one entry per query:
+	// ~n*nQueries total. With the sweep, a node retains at most the
+	// distinct queries of its last stateSweepEvery processed messages
+	// (each query delivers >= 1 message per touched node), plus slack
+	// for sweep phase.
+	perNodeBound := stateSweepEvery + 8
+	if live := a.liveQueryStates(); live > n*perNodeBound {
+		t.Fatalf("live query-state entries = %d after %d queries; want <= %d (unbounded growth regression)",
+			live, nQueries, n*perNodeBound)
+	} else if live >= n*nQueries/2 {
+		t.Fatalf("live query-state entries = %d, still scales with workload length (%d queries)", live, nQueries)
+	}
+}

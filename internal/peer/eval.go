@@ -1,0 +1,137 @@
+package peer
+
+import (
+	"arq/internal/content"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// This file is the engine-independent query lifecycle: the per-delivery
+// evaluation rules and the workload draw order that every engine — the
+// sequential map-based Engine, the goroutine-per-peer ActorNet, and the
+// struct-of-arrays engine in peer/flat — must agree on. Each engine used
+// to carry its own copy of these decisions inline; extracting them here
+// is what lets the small-N golden tests pin all engines to identical
+// per-query stats.
+
+// DeliveryOutcome is the fate of one query copy arriving at a node,
+// decided by rules shared across all engines. The engine owns transport
+// (queues, channels, frontiers) and bookkeeping state; the outcome tells
+// it what this delivery means.
+type DeliveryOutcome struct {
+	// Duplicate: flood-mode duplicate suppression fired — count it and
+	// stop. Never set under walker semantics.
+	Duplicate bool
+	// First: first receipt at this node — record visited/parent state
+	// and count the node as reached.
+	First bool
+	// Hit: matching content found on first receipt — count the hit and
+	// propagate a query-hit along the reverse path.
+	Hit bool
+	// Terminate: a walker landed on matching content — do not forward,
+	// whether or not an earlier walker already claimed the hit.
+	Terminate bool
+	// Forward: consult the router and forward (TTL remaining and neither
+	// suppressed nor terminated).
+	Forward bool
+}
+
+// EvalDelivery applies the shared query-lifecycle rules to one delivery:
+// node u receives a copy of a query for cat that originated at origin,
+// with ttl forwards still allowed after u. visited reports whether u has
+// processed this query before (per the engine's dedup state); walk
+// selects walker semantics (no duplicate suppression, terminate on
+// matching content). Matches at the origin itself never count — a user
+// searches for content they lack.
+func EvalDelivery(m *content.Model, origin, u int, cat trace.InterestID, walk, visited bool, ttl int) DeliveryOutcome {
+	if !walk && visited {
+		return DeliveryOutcome{Duplicate: true}
+	}
+	return EvalHostedDelivery(u != origin && m.Hosts(u, cat), walk, visited, ttl)
+}
+
+// EvalHostedDelivery is EvalDelivery for engines that resolve content
+// hosting themselves — the flat engine answers most lookups from a
+// precomputed per-node category bitmap instead of chasing the content
+// model's slice-of-slices on every first receipt. hosts reports whether
+// u shares content in the queried category; the caller must already have
+// excluded the origin. Suppressed duplicates never reach the hosting
+// check (EvalDelivery short-circuits them), so the semantics are
+// identical.
+func EvalHostedDelivery(hosts, walk, visited bool, ttl int) DeliveryOutcome {
+	var o DeliveryOutcome
+	o.First = !visited
+	if !walk && !o.First {
+		o.Duplicate = true
+		return o
+	}
+	o.Hit = hosts && o.First
+	if hosts && walk {
+		o.Terminate = true
+		return o
+	}
+	o.Forward = ttl > 0
+	return o
+}
+
+// WorkloadJob is one pre-drawn query of a workload: origins are uniform,
+// categories drawn from each origin's interest profile.
+type WorkloadJob struct {
+	Origin   int
+	Category trace.InterestID
+}
+
+// DrawWorkload pre-draws nQueries jobs from rng in the canonical order
+// (origin, then category, per query). Every workload driver — sequential
+// engines, the actor net, and driver-level search strategies — draws
+// through this one function, so a fixed seed yields the same
+// (origin, category) list regardless of which engine replays it.
+func DrawWorkload(rng *stats.RNG, m *content.Model, n, nQueries int) []WorkloadJob {
+	jobs := make([]WorkloadJob, nQueries)
+	for i := range jobs {
+		jobs[i].Origin = rng.Intn(n)
+		jobs[i].Category = m.DrawQuery(rng, jobs[i].Origin)
+	}
+	return jobs
+}
+
+// RouteAppender is an optional Router fast path for allocation-free
+// engines: RouteAppend appends the chosen forwarding targets to dst and
+// returns it, instead of allocating a fresh slice per routing decision
+// the way Route must (its contract forbids aliasing nbrs). An
+// implementation must choose exactly the neighbors Route would, in the
+// same order. The flat engine (peer/flat) detects the capability at
+// construction and routes through it — on a million-node flood this
+// removes one short-lived allocation per processed node per query.
+type RouteAppender interface {
+	RouteAppend(dst []int32, u, from int, q Meta, nbrs []int32) []int32
+}
+
+// Broadcaster is an optional Router marker for pure stateless flooding:
+// the router promises that Route always selects every neighbor except
+// the upstream sender, in neighbor order, and that ObserveHit is a
+// no-op. An engine that owns its message buffers can then fan out
+// directly without materializing the chosen-neighbor list — and skip
+// hit-observation dispatch entirely — which is what the flat engine's
+// million-node flood path does. Only routers meeting both promises may
+// return true.
+type Broadcaster interface {
+	Broadcasts() bool
+}
+
+// QueryEngine is the sequential query-execution surface shared by the
+// map-based Engine and the flat struct-of-arrays engine (peer/flat):
+// driver-level search strategies (internal/routing) and workload drivers
+// are written against it, so every strategy runs unchanged on either
+// engine.
+type QueryEngine interface {
+	// Nodes returns the overlay size.
+	Nodes() int
+	// ContentModel returns the engine's content placement.
+	ContentModel() *content.Model
+	// RunQuery injects a query and simulates it to quiescence.
+	RunQuery(origin int, category trace.InterestID, ttl int) Stats
+	// RunQueryPhase is RunQuery with control over Meta.FloodPhase (the
+	// origin-level revert-to-flooding reissue).
+	RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) Stats
+}

@@ -1,0 +1,400 @@
+// Package flat is the struct-of-arrays query engine: the third engine
+// over the shared peer node/router model, built to run million-node
+// overlays that the map-based peer.Engine and the goroutine-per-peer
+// peer.ActorNet cannot reach.
+//
+// Layout over behavior: peers are indices into dense slices, adjacency
+// is an overlay.CSR snapshot (one contiguous column array, sequential
+// neighbor scans), message delivery is a batched per-TTL-step frontier
+// swap (two append-only slices reused across queries — no per-message
+// heap, channel, or allocation), and GUID dedup is an epoch-stamped
+// visited array (a rotating window: bumping the epoch retires the whole
+// previous query's entries in O(1), so no per-node maps ever grow on
+// the hot path).
+//
+// Behavior is pinned, not approximated: every per-delivery decision
+// goes through peer.EvalDelivery, frontier-swap order equals
+// peer.Engine's FIFO order (FIFO from a single depth-0 injection IS
+// strict BFS depth order — processing depth d only appends depth d+1),
+// and router construction order matches peer.NewEngine. The golden test
+// in this package holds per-query stats byte-identical to peer.Engine
+// for all strategies under the same seed. The engine models a perfect
+// network only — fault injection stays with the two small engines.
+package flat
+
+import (
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// noUp is peer.NoUpstream in the engine's int32 index space.
+const noUp = int32(peer.NoUpstream)
+
+// msg is one query copy in flight. TTL and hop count are implicit in
+// the frontier depth, so a message is just two indices — 8 bytes.
+type msg struct {
+	to, from int32
+}
+
+// Engine is the flat struct-of-arrays engine. It implements
+// peer.QueryEngine, so driver-level search strategies (expanding ring,
+// shortcuts, two-phase) run on it unchanged. Not safe for concurrent
+// use: the scratch arrays are reused across queries.
+type Engine struct {
+	csr     *overlay.CSR
+	content *content.Model
+	routers []peer.Router
+
+	// Epoch-stamped per-node scratch, reused across queries:
+	// seen[u] == epoch means u processed the current query, and bumping
+	// the epoch retires every entry at once; parent[u] is only
+	// meaningful when seen[u] is current. Deliberately two arrays, not
+	// one record: the dedup pass touches only seen, and at 4 bytes per
+	// node sixteen nodes share a cache line — the denser this array,
+	// the more of the frontier's random-access traffic the caches
+	// absorb at million-node scale. The flood fast path never writes
+	// parent at all (it computes hit attribution from the frontier
+	// depth instead), so splitting costs its hot loop nothing.
+	epoch  uint32
+	seen   []uint32
+	parent []int32
+
+	// hostBits is an inverted hosting index: one N-bit row per interest
+	// category, rows concatenated (row c is
+	// hostBits[c*hostWords:(c+1)*hostWords], bit u set iff u hosts c).
+	// A query touches exactly one row — N/8 bytes, cache-resident even
+	// at N=1M — so the per-delivery hosting check is a single exact bit
+	// test, never a content-model pointer chase. Snapshotted at
+	// construction: the flat engine assumes a static content model
+	// (true of every current workload; the mutating churn experiments
+	// run on the map-based engines). zeroHost backs categories outside
+	// the model so the hot loop stays branch-free.
+	hostBits  []uint64
+	hostWords int
+	zeroHost  []uint64
+
+	// Frontier buffers, swapped each TTL step; fwd holds the frontier
+	// survivors between the two passes of the flood fast path.
+	cur, next, fwd []msg
+
+	// allBcast is set when every router is a broadcasting
+	// peer.Broadcaster (a pure flood engine). Queries then run a
+	// specialized two-pass frontier: pass one resolves dedup and hits,
+	// pass two fans out the survivors — splitting the loop gives each
+	// pass a single random-access stream its prefetch covers with no
+	// wasted touches. Legal only because flood routers are stateless;
+	// stateful strategies keep the interleaved single-pass loop.
+	allBcast bool
+
+	// appenders[u] is non-nil when routers[u] supports the
+	// allocation-free peer.RouteAppender fast path; routeBuf is its
+	// reused destination. broadcast[u] is set when routers[u] is a
+	// peer.Broadcaster — the engine then fans out straight from the CSR
+	// row without materializing a chosen-neighbor list at all.
+	appenders []peer.RouteAppender
+	routeBuf  []int32
+	broadcast []bool
+
+	// pfSink absorbs the prefetch reads in the delivery loop so the
+	// compiler cannot discard them; never read back.
+	pfSink uint64
+
+	nextID peer.QueryID
+}
+
+// prefetchDist is the base lookahead of the delivery loops: how many
+// frontier entries ahead each loop touches the data it will need.
+// Delivery order is data-dependent random access into the seen array
+// and the CSR; at million-node scale every touch is a DRAM miss, and
+// the loop's own dependency chain leaves the memory system idle between
+// them. Touching a record 16+ messages early keeps that many misses in
+// flight instead of ~1 — worth >2x end-to-end at N=1M, unmeasurable at
+// cache-resident sizes. Loops with smaller bodies use multiples of this
+// (less work per iteration means less lead time per entry of distance).
+const prefetchDist = 16
+
+// NewEngine snapshots g into a CSR and builds one router per node via
+// factory, in node order — the same construction order as
+// peer.NewEngine, so stateful factories (split RNGs, shared tables)
+// produce identical routers on either engine.
+func NewEngine(g *overlay.Graph, m *content.Model, factory func(u int) peer.Router) *Engine {
+	n := g.N()
+	words := (n + 63) / 64
+	e := &Engine{
+		csr:       overlay.NewCSR(g),
+		content:   m,
+		routers:   make([]peer.Router, n),
+		seen:      make([]uint32, n),
+		parent:    make([]int32, n),
+		hostBits:  make([]uint64, m.Categories()*words),
+		hostWords: words,
+		zeroHost:  make([]uint64, words),
+		appenders: make([]peer.RouteAppender, n),
+		broadcast: make([]bool, n),
+		nextID:    1,
+	}
+	allBcast := n > 0
+	for u := 0; u < n; u++ {
+		e.routers[u] = factory(u)
+		if ap, ok := e.routers[u].(peer.RouteAppender); ok {
+			e.appenders[u] = ap
+		}
+		if b, ok := e.routers[u].(peer.Broadcaster); ok && b.Broadcasts() {
+			e.broadcast[u] = true
+		} else {
+			allBcast = false
+		}
+		for _, c := range m.HostedCategories(u) {
+			e.hostBits[int(c)*words+u/64] |= 1 << (uint(u) % 64)
+		}
+	}
+	e.allBcast = allBcast
+	return e
+}
+
+// Nodes implements peer.QueryEngine.
+func (e *Engine) Nodes() int { return e.csr.N() }
+
+// ContentModel implements peer.QueryEngine.
+func (e *Engine) ContentModel() *content.Model { return e.content }
+
+// CSR returns the engine's adjacency snapshot.
+func (e *Engine) CSR() *overlay.CSR { return e.csr }
+
+// RunQuery injects a query at origin for category with the given TTL
+// and simulates it to quiescence, returning its stats.
+func (e *Engine) RunQuery(origin int, category trace.InterestID, ttl int) peer.Stats {
+	return e.RunQueryPhase(origin, category, ttl, false)
+}
+
+// RunQueryPhase is RunQuery with control over Meta.FloodPhase, used to
+// reissue a failed rule-routed query as a flood.
+func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) peer.Stats {
+	id := e.nextID
+	e.nextID++
+	meta := peer.Meta{ID: id, Origin: origin, Category: category, FloodPhase: floodPhase}
+	var st peer.Stats
+
+	// Advance the dedup window: one epoch per query. On uint32
+	// wraparound (once per ~4B queries) the stale stamps could collide,
+	// so clear the stamps and restart.
+	e.epoch++
+	if e.epoch == 0 {
+		for i := range e.seen {
+			e.seen[i] = 0
+		}
+		e.epoch = 1
+	}
+
+	// One exact bitset row answers every hosting check for this query.
+	hb := e.zeroHost
+	if c := int(category); c >= 0 && (c+1)*e.hostWords <= len(e.hostBits) {
+		hb = e.hostBits[c*e.hostWords : (c+1)*e.hostWords]
+	}
+	org := int32(origin)
+
+	walk := e.routers[origin].Walk()
+	if e.allBcast && !walk {
+		e.runFlood(org, hb, ttl, meta, &st)
+		peer.RecordQuery(&st)
+		return st
+	}
+	cur, next := e.cur[:0], e.next[:0]
+	cur = append(cur, msg{to: org, from: noUp})
+
+	// One frontier per depth: messages in cur are all at the same hop
+	// count, with remaining TTL implied by depth. Within a depth,
+	// processing order is append order — exactly peer.Engine's FIFO.
+	for depth := 0; len(cur) > 0; depth++ {
+		rem := ttl - depth // forwards still allowed after this node
+		for i, m := range cur {
+			if i+prefetchDist < len(cur) {
+				t := cur[i+prefetchDist].to
+				e.pfSink += uint64(e.seen[t]) + uint64(e.csr.TouchRow(t))
+			}
+			u := m.to
+			visited := e.seen[u] == e.epoch
+			if !walk && visited {
+				st.Duplicates++
+				continue
+			}
+			hosts := u != org && hb[uint(u)/64]>>(uint(u)%64)&1 != 0
+			o := peer.EvalHostedDelivery(hosts, walk, visited, rem)
+			if o.Duplicate {
+				st.Duplicates++
+				continue
+			}
+			if o.First {
+				e.seen[u] = e.epoch
+				e.parent[u] = m.from
+				st.NodesReached++
+			}
+
+			if o.Hit {
+				st.Hits++
+				st.HitNodes = append(st.HitNodes, u)
+				e.propagateHit(meta, u, m.from, &st)
+				if !st.Found || depth < st.FirstHitHops {
+					st.FirstHitHops = depth
+				}
+				st.Found = true
+			}
+			if o.Terminate {
+				continue
+			}
+
+			if !o.Forward {
+				continue
+			}
+			nbrs := e.csr.Neighbors(int(u))
+			if e.broadcast[u] {
+				// Flooding fans out straight from the CSR row: every
+				// neighbor except the sender, in neighbor order —
+				// exactly what the router's Route would have chosen.
+				before := len(next)
+				for _, v := range nbrs {
+					if v != m.from {
+						next = append(next, msg{to: v, from: u})
+					}
+				}
+				st.QueryMessages += len(next) - before
+				continue
+			}
+			q := meta
+			q.TTL = rem
+			q.Hops = depth
+			chosen := e.routeBuf[:0]
+			if ap := e.appenders[u]; ap != nil {
+				chosen = ap.RouteAppend(chosen, int(u), int(m.from), q, nbrs)
+				e.routeBuf = chosen
+			} else {
+				chosen = e.routers[u].Route(int(u), int(m.from), q, nbrs)
+			}
+			st.QueryMessages += len(chosen)
+			for _, v := range chosen {
+				next = append(next, msg{to: v, from: u})
+			}
+		}
+		cur, next = next, cur[:0]
+	}
+	// Keep the (possibly grown) buffers for the next query.
+	e.cur, e.next = cur, next
+
+	peer.RecordQuery(&st)
+	return st
+}
+
+// runFlood is the two-pass frontier loop for an all-broadcast engine —
+// the configuration the million-node scale runs use. The generic loop
+// resolves dedup and fans out in one interleaved pass, so its lookahead
+// prefetch covers the node records but not the CSR rows (which of the
+// upcoming entries will forward isn't known yet, and chaining both
+// loads per entry stalls the lookahead window). Splitting the depth
+// into a dedup/hit pass over the frontier and a fan-out pass over just
+// the survivors gives each pass one random-access stream its prefetch
+// covers with no wasted touches. Stats math and ordering are identical
+// to the generic loop (pinned by the flood rows of the golden test);
+// the split is only legal because flood routers are stateless — no
+// Route call can observe an ObserveHit from the same depth.
+func (e *Engine) runFlood(org int32, hb []uint64, ttl int, meta peer.Meta, st *peer.Stats) {
+	cur, next, fw := e.cur[:0], e.next[:0], e.fwd[:0]
+	cur = append(cur, msg{to: org, from: noUp})
+
+	for depth := 0; len(cur) > 0; depth++ {
+		rem := ttl - depth
+		fw = fw[:0]
+		// Pass 1: dedup, hit detection, survivor selection. The only
+		// random stream is the node records; the loop body is a few ns,
+		// so the lookahead runs four windows deep to buy a full DRAM
+		// latency of lead time.
+		for i, m := range cur {
+			if i+4*prefetchDist < len(cur) {
+				e.pfSink += uint64(e.seen[cur[i+4*prefetchDist].to])
+			}
+			u := m.to
+			if e.seen[u] == e.epoch {
+				st.Duplicates++
+				continue
+			}
+			e.seen[u] = e.epoch
+			st.NodesReached++
+			if u != org && hb[uint(u)/64]>>(uint(u)%64)&1 != 0 {
+				// Hit attribution without the parent-chain walk: on a
+				// flood every ancestor is marked, so the reverse path
+				// from u's sender to the origin has exactly depth hops,
+				// and Broadcaster routers promise ObserveHit is a no-op
+				// — same HitMessages arithmetic as propagateHit, none
+				// of its random access. This is also why the flood path
+				// never writes the parent array.
+				st.Hits++
+				st.HitNodes = append(st.HitNodes, u)
+				st.HitMessages += depth
+				if !st.Found {
+					st.FirstHitHops = depth
+				}
+				st.Found = true
+			}
+			if rem > 0 {
+				fw = append(fw, m)
+			}
+		}
+		// Pass 2: fan out the survivors. Every touch is useful now:
+		// the row pointer a full lookahead window ahead, the columns
+		// half a window ahead (by then the pointer is cached, so the
+		// column touch is a single unchained load).
+		for i, m := range fw {
+			if i+prefetchDist < len(fw) {
+				e.pfSink += uint64(e.csr.TouchRow(fw[i+prefetchDist].to))
+			}
+			if i+prefetchDist/2 < len(fw) {
+				e.pfSink += uint64(uint32(e.csr.TouchCol(fw[i+prefetchDist/2].to)))
+			}
+			u := m.to
+			before := len(next)
+			for _, v := range e.csr.Neighbors(int(u)) {
+				if v != m.from {
+					next = append(next, msg{to: v, from: u})
+				}
+			}
+			st.QueryMessages += len(next) - before
+		}
+		cur, next = next, cur[:0]
+	}
+	e.cur, e.next, e.fwd = cur, next, fw
+}
+
+// propagateHit routes a query-hit from node u back to the origin along
+// the reverse path in the parent array, letting each node on the way
+// observe which neighbor produced the hit — the exact accounting of
+// peer.Engine.propagateHit on a perfect network.
+func (e *Engine) propagateHit(meta peer.Meta, u, upstreamAtU int32, st *peer.Stats) {
+	e.routers[u].ObserveHit(int(u), int(upstreamAtU), meta, int(u))
+	via := u
+	node := upstreamAtU
+	for node != noUp {
+		st.HitMessages++
+		if e.seen[node] != e.epoch {
+			// Walker path bookkeeping can lose the trail when a node was
+			// first visited by a different walker; stop attribution there.
+			break
+		}
+		up := e.parent[node]
+		e.routers[node].ObserveHit(int(node), int(up), meta, int(via))
+		via = node
+		node = up
+	}
+}
+
+// Workload drives nQueries random queries through the engine, drawing
+// origins and categories in the canonical order (peer.DrawWorkload) so
+// a fixed seed yields the same query list as the other engines.
+func (e *Engine) Workload(rng *stats.RNG, nQueries, ttl int) []peer.Stats {
+	out := make([]peer.Stats, 0, nQueries)
+	for _, j := range peer.DrawWorkload(rng, e.content, e.Nodes(), nQueries) {
+		out = append(out, e.RunQuery(j.Origin, j.Category, ttl))
+	}
+	return out
+}

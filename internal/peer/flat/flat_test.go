@@ -1,0 +1,61 @@
+package flat_test
+
+import (
+	"testing"
+
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/peer/flat"
+	"arq/internal/routing"
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+// TestFlatFloodInvariant checks the structural flood identity on a
+// connected graph with TTL >= diameter: every reached node forwards
+// exactly once, so QueryMessages = 2M - N + 1 — and checks that the
+// epoch-stamped dedup window resets correctly by running repeated
+// queries through the same reused scratch arrays.
+func TestFlatFloodInvariant(t *testing.T) {
+	rng := stats.NewRNG(9)
+	g := overlay.Random(rng, 400, 5)
+	m := content.Build(rng.Split(), 400, content.DefaultConfig())
+	e := flat.NewEngine(g, m, func(u int) peer.Router { return routing.Flood{} })
+
+	want := 2*g.M() - g.N() + 1
+	for i := 0; i < 5; i++ {
+		st := e.RunQuery(i, trace.InterestID(0), 64)
+		if st.QueryMessages != want {
+			t.Fatalf("query %d: QueryMessages = %d, want 2M-N+1 = %d", i, st.QueryMessages, want)
+		}
+		if st.NodesReached != g.N() {
+			t.Fatalf("query %d: reached %d of %d nodes", i, st.NodesReached, g.N())
+		}
+		if st.Duplicates != want-(g.N()-1) {
+			t.Fatalf("query %d: Duplicates = %d, want %d", i, st.Duplicates, want-(g.N()-1))
+		}
+	}
+}
+
+// TestFlatMatchesEngineSmall cross-checks per-query stats against
+// peer.Engine on a tiny overlay — the cheap always-on version of the
+// golden equivalence test.
+func TestFlatMatchesEngineSmall(t *testing.T) {
+	rng := stats.NewRNG(21)
+	g := overlay.GnutellaLike(rng, 120)
+	m := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+	seq := peer.NewEngine(g, m, func(u int) peer.Router { return routing.Flood{} })
+	fl := flat.NewEngine(g, m, func(u int) peer.Router { return routing.Flood{} })
+
+	wrk := stats.NewRNG(3)
+	for _, j := range peer.DrawWorkload(wrk, m, g.N(), 50) {
+		a := seq.RunQuery(j.Origin, j.Category, 5)
+		b := fl.RunQuery(j.Origin, j.Category, 5)
+		if a.Found != b.Found || a.Hits != b.Hits || a.FirstHitHops != b.FirstHitHops ||
+			a.QueryMessages != b.QueryMessages || a.HitMessages != b.HitMessages ||
+			a.Duplicates != b.Duplicates || a.NodesReached != b.NodesReached {
+			t.Fatalf("origin %d cat %d: peer.Engine %+v != flat.Engine %+v", j.Origin, j.Category, a, b)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+package flat_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/peer/flat"
+	"arq/internal/routing"
+	"arq/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite the engine equivalence golden file")
+
+// The golden pins per-query stats for all seven strategies at N=500:
+// the flat engine must match peer.Engine exactly, query by query, and
+// the committed bytes must be identical across runs and across worker
+// counts (strategies processed sequentially or fanned out). Regenerate
+// with: go test ./internal/peer/flat -run TestEngineGolden -update
+const (
+	goldenSeed    = 42
+	goldenN       = 500
+	goldenTTL     = 7
+	goldenWarm    = 1200
+	goldenMeasure = 200
+)
+
+// qrec is the golden's per-query record — every Stats field.
+type qrec struct {
+	Found  bool    `json:"found"`
+	Hits   int     `json:"hits"`
+	FHH    int     `json:"first_hit_hops"`
+	QMsgs  int     `json:"query_msgs"`
+	HMsgs  int     `json:"hit_msgs"`
+	Dups   int     `json:"duplicates"`
+	Reach  int     `json:"nodes_reached"`
+	HitsAt []int32 `json:"hit_nodes,omitempty"`
+}
+
+func toRec(s peer.Stats) qrec {
+	return qrec{Found: s.Found, Hits: s.Hits, FHH: s.FirstHitHops,
+		QMsgs: s.QueryMessages, HMsgs: s.HitMessages,
+		Dups: s.Duplicates, Reach: s.NodesReached, HitsAt: s.HitNodes}
+}
+
+// strategy builds one named searcher over a fresh engine produced by mk.
+// Each call constructs independent router state, so the same seed yields
+// the same behavior whichever engine implementation backs it.
+type strategy struct {
+	name  string
+	build func(mk func(factory func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine)
+	warm  bool
+}
+
+func strategies(g *overlay.Graph, model *content.Model) []strategy {
+	return []strategy{
+		{"flood", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			e := mk(func(u int) peer.Router { return routing.Flood{} })
+			return &routing.OneShot{Label: "flood", E: e, TTL: goldenTTL}, e
+		}, false},
+		{"expanding-ring", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			e := mk(func(u int) peer.Router { return routing.Flood{} })
+			return &routing.ExpandingRing{E: e, Start: 1, Step: 2, Max: goldenTTL}, e
+		}, false},
+		{"kwalk-16", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			wrng := stats.NewRNG(goldenSeed + 200)
+			e := mk(func(u int) peer.Router { return &routing.RandomWalk{K: 16, RNG: wrng.Split()} })
+			return &routing.OneShot{Label: "kwalk", E: e, TTL: 64}, e
+		}, false},
+		{"routing-index", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			idx := routing.BuildRoutingIndices(g, model.HostedCategories, 4, 2)
+			e := mk(func(u int) peer.Router { return idx[u] })
+			return &routing.OneShot{Label: "ri", E: e, TTL: goldenTTL}, e
+		}, false},
+		{"interest-shortcuts", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			e := mk(func(u int) peer.Router { return routing.Flood{} })
+			return routing.NewShortcuts(e, goldenTTL, 5, 10), e
+		}, true},
+		{"assoc", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			e := mk(func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) })
+			return &routing.OneShot{Label: "assoc", E: e, TTL: goldenTTL}, e
+		}, true},
+		{"assoc-two-phase", func(mk func(func(u int) peer.Router) peer.QueryEngine) (routing.Searcher, peer.QueryEngine) {
+			cfg := routing.DefaultAssocConfig()
+			cfg.Strict = true
+			e := mk(func(u int) peer.Router { return routing.NewAssoc(cfg) })
+			return &routing.AssocTwoPhase{E: e, TTL: goldenTTL}, e
+		}, true},
+	}
+}
+
+// runStrategy drives one strategy's warm-up and measured workload on the
+// given engine implementation and returns per-query records.
+func runStrategy(st strategy, mk func(factory func(u int) peer.Router) peer.QueryEngine) []qrec {
+	s, e := st.build(mk)
+	if st.warm {
+		routing.RunWorkload(stats.NewRNG(goldenSeed+5), s, e, goldenWarm)
+	}
+	res := routing.RunWorkload(stats.NewRNG(goldenSeed+7), s, e, goldenMeasure)
+	out := make([]qrec, len(res))
+	for i, r := range res {
+		out[i] = toRec(r)
+	}
+	return out
+}
+
+// runAll runs every strategy on both engines with the given worker
+// count, asserts seq/flat equality per query, and returns the canonical
+// golden bytes.
+func runAll(t *testing.T, workers int) []byte {
+	t.Helper()
+	rng := stats.NewRNG(goldenSeed + 100)
+	g := overlay.GnutellaLike(rng, goldenN)
+	model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
+
+	strats := strategies(g, model)
+	recs := make([]struct {
+		Name    string `json:"name"`
+		Queries []qrec `json:"queries"`
+	}, len(strats))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	for i, st := range strats {
+		wg.Add(1)
+		go func(i int, st strategy) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			seq := runStrategy(st, func(f func(u int) peer.Router) peer.QueryEngine {
+				return peer.NewEngine(g, model, f)
+			})
+			fl := runStrategy(st, func(f func(u int) peer.Router) peer.QueryEngine {
+				return flat.NewEngine(g, model, f)
+			})
+			for q := range seq {
+				if !recEqual(seq[q], fl[q]) {
+					t.Errorf("%s query %d: peer.Engine %+v != flat.Engine %+v", st.name, q, seq[q], fl[q])
+					return
+				}
+			}
+			recs[i].Name = st.name
+			recs[i].Queries = seq
+		}(i, st)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	buf, err := json.MarshalIndent(recs, "", " ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(buf, '\n')
+}
+
+func recEqual(a, b qrec) bool {
+	if a.Found != b.Found || a.Hits != b.Hits || a.FHH != b.FHH ||
+		a.QMsgs != b.QMsgs || a.HMsgs != b.HMsgs || a.Dups != b.Dups ||
+		a.Reach != b.Reach || len(a.HitsAt) != len(b.HitsAt) {
+		return false
+	}
+	for i := range a.HitsAt {
+		if a.HitsAt[i] != b.HitsAt[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestEngineGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("golden equivalence run is not short")
+	}
+	seqRun := runAll(t, 1)
+	fanRun := runAll(t, 4)
+	if !bytes.Equal(seqRun, fanRun) {
+		t.Fatal("golden bytes differ between worker counts 1 and 4")
+	}
+
+	path := filepath.Join("testdata", "engine_golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, seqRun, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes)", path, len(seqRun))
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(seqRun, want) {
+		t.Fatalf("engine golden drifted: got %d bytes, want %d; rerun with -update and inspect the diff", len(seqRun), len(want))
+	}
+}

@@ -39,8 +39,10 @@ var (
 	mReached    = obsv.GetHistogram("peer.nodes_reached", obsv.SizeBuckets())
 )
 
-// record folds one completed query's stats into the shared instruments.
-func record(st *Stats) {
+// RecordQuery folds one completed query's stats into the shared
+// instruments. Engines outside this package (peer/flat) call it once per
+// completed query.
+func RecordQuery(st *Stats) {
 	mQueries.Inc()
 	if st.Found {
 		mFound.Inc()
@@ -138,6 +140,12 @@ func NewEngine(g *overlay.Graph, m *content.Model, factory func(u int) Router) *
 	return &Engine{G: g, Content: m, Routers: routers, nextID: 1}
 }
 
+// Nodes implements QueryEngine.
+func (e *Engine) Nodes() int { return e.G.N() }
+
+// ContentModel implements QueryEngine.
+func (e *Engine) ContentModel() *content.Model { return e.Content }
+
 // delivery is one query copy in flight.
 type delivery struct {
 	to, from int
@@ -203,7 +211,6 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 	// counter (deliveries processed) reaches its release — traffic
 	// issued later overtakes it, which is the reordering faults model.
 	queue := []delivery{{to: origin, from: NoUpstream, ttl: ttl, hops: 0}}
-	visited[origin] = true
 	parent[origin] = NoUpstream
 	var delayed delayHeap
 	step, seq := 0, 0
@@ -229,22 +236,20 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 			continue
 		}
 
-		first := d.from == NoUpstream || !visited[u]
-		if !walk && !first {
-			// Already processed: suppressed duplicate.
+		o := EvalDelivery(e.Content, origin, u, category, walk, visited[u], d.ttl)
+		if o.Duplicate {
 			st.Duplicates++
 			continue
 		}
-		if first && d.from != NoUpstream {
+		if o.First {
 			visited[u] = true
-			parent[u] = d.from
-		}
-		if first {
+			if d.from != NoUpstream {
+				parent[u] = d.from
+			}
 			st.NodesReached++
 		}
 
-		hosts := u != origin && e.Content.Hosts(u, category)
-		if hosts && first {
+		if o.Hit {
 			st.Hits++
 			st.HitNodes = append(st.HitNodes, int32(u))
 			delivered := e.propagateHit(meta, u, d.from, parent, &st)
@@ -258,13 +263,11 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 				st.Found = true
 			}
 		}
-		if hosts && walk {
-			// A walker terminates when it lands on matching content,
-			// whether or not an earlier walker already claimed the hit.
+		if o.Terminate {
 			continue
 		}
 
-		if d.ttl <= 0 {
+		if !o.Forward {
 			continue
 		}
 		q := meta
@@ -299,7 +302,7 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 			}
 		}
 	}
-	record(&st)
+	RecordQuery(&st)
 	return st
 }
 
@@ -386,10 +389,8 @@ func Summarize(all []Stats) Aggregate {
 // uniform, categories drawn from each origin's interest profile.
 func (e *Engine) Workload(rng *stats.RNG, nQueries, ttl int) []Stats {
 	out := make([]Stats, 0, nQueries)
-	for i := 0; i < nQueries; i++ {
-		origin := rng.Intn(e.G.N())
-		cat := e.Content.DrawQuery(rng, origin)
-		out = append(out, e.RunQuery(origin, cat, ttl))
+	for _, j := range DrawWorkload(rng, e.Content, e.G.N(), nQueries) {
+		out = append(out, e.RunQuery(j.Origin, j.Category, ttl))
 	}
 	return out
 }

@@ -15,6 +15,9 @@
 //   - keys with an "_ns" suffix or "ns_" prefix — wall-clock throughput,
 //     where only a slowdown beyond a generous ratio fails (timings vary
 //     across machines; determinism only holds for the quality measures);
+//   - keys with a "_bytes" suffix — memory footprints, where only growth
+//     beyond a ratio fails (allocator and GC timing make absolute heap
+//     sizes noisy; shrinking is always fine);
 //   - everything else — counts, compared by relative difference with a
 //     small absolute slack.
 package report
@@ -145,6 +148,10 @@ type Tolerance struct {
 	// baseline * PerfRatio (slowdowns only; speedups always pass).
 	// 0 disables throughput checking.
 	PerfRatio float64
+	// MemRatio fails the comparison when a "_bytes" metric exceeds
+	// baseline * MemRatio (growth only; shrinking always passes).
+	// 0 disables memory checking.
+	MemRatio float64
 }
 
 // DefaultTolerance is tuned to be non-flaky in CI: quality is
@@ -152,7 +159,7 @@ type Tolerance struct {
 // while allowing intentional small recalibrations to pass review by
 // refreshing the baseline; timings get a generous 10x.
 func DefaultTolerance() Tolerance {
-	return Tolerance{Quality: 0.05, CountRel: 0.30, CountAbs: 3, PerfRatio: 10}
+	return Tolerance{Quality: 0.05, CountRel: 0.30, CountAbs: 3, PerfRatio: 10, MemRatio: 3}
 }
 
 func isQualityKey(k string) bool {
@@ -165,6 +172,10 @@ func isQualityKey(k string) bool {
 
 func isPerfKey(k string) bool {
 	return strings.HasSuffix(k, "_ns") || strings.HasPrefix(k, "ns_")
+}
+
+func isMemKey(k string) bool {
+	return strings.HasSuffix(k, "_bytes")
 }
 
 // Compare checks candidate against baseline and returns a human-readable
@@ -198,8 +209,8 @@ func Compare(baseline, candidate *Artifact, tol Tolerance) []string {
 				cv, ok := cr.Metrics[k]
 				where := fmt.Sprintf("%s/%s/%s", bs.Name, br.Name, k)
 				if !ok {
-					if isPerfKey(k) {
-						continue // a run may legitimately omit timings
+					if isPerfKey(k) || isMemKey(k) {
+						continue // a run may legitimately omit timings/footprints
 					}
 					violations = append(violations,
 						fmt.Sprintf("%s: metric present in baseline, missing from candidate", where))
@@ -215,6 +226,11 @@ func Compare(baseline, candidate *Artifact, tol Tolerance) []string {
 					if tol.PerfRatio > 0 && bv > 0 && cv > bv*tol.PerfRatio {
 						violations = append(violations,
 							fmt.Sprintf("%s: %.0f -> %.0f (slowdown %.1fx > %.1fx)", where, bv, cv, cv/bv, tol.PerfRatio))
+					}
+				case isMemKey(k):
+					if tol.MemRatio > 0 && bv > 0 && cv > bv*tol.MemRatio {
+						violations = append(violations,
+							fmt.Sprintf("%s: %.0f -> %.0f (memory growth %.1fx > %.1fx)", where, bv, cv, cv/bv, tol.MemRatio))
 					}
 				default:
 					d := math.Abs(cv - bv)

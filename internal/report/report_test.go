@@ -151,3 +151,29 @@ func TestCompareMissingPieces(t *testing.T) {
 		t.Fatalf("missing perf metric flagged: %v", v)
 	}
 }
+
+func TestCompareMemOnlyFailsOnGrowth(t *testing.T) {
+	base, cand := testArtifact(), testArtifact()
+	base.Find("policies").Find("sliding").Metrics["heap_bytes"] = 1e8
+	cand.Find("policies").Find("sliding").Metrics["heap_bytes"] = 1e7 // shrink
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("memory shrink flagged: %v", v)
+	}
+	cand.Find("policies").Find("sliding").Metrics["heap_bytes"] = 1e9
+	v := Compare(base, cand, DefaultTolerance())
+	if len(v) != 1 || !strings.Contains(v[0], "memory growth") {
+		t.Fatalf("violations = %v", v)
+	}
+	// A candidate may omit footprints (e.g. a run without MemStats).
+	delete(cand.Find("policies").Find("sliding").Metrics, "heap_bytes")
+	if v := Compare(base, cand, DefaultTolerance()); len(v) != 0 {
+		t.Fatalf("omitted footprint flagged: %v", v)
+	}
+	// Disabling the ratio disables the check.
+	cand.Find("policies").Find("sliding").Metrics["heap_bytes"] = 1e9
+	tol := DefaultTolerance()
+	tol.MemRatio = 0
+	if v := Compare(base, cand, tol); len(v) != 0 {
+		t.Fatalf("disabled mem check still flagged: %v", v)
+	}
+}

@@ -59,6 +59,21 @@ func (Flood) Route(_, from int, _ peer.Meta, nbrs []int32) []int32 {
 	return out
 }
 
+// RouteAppend implements peer.RouteAppender — the same fan-out as Route
+// without the per-call allocation.
+func (Flood) RouteAppend(dst []int32, _, from int, _ peer.Meta, nbrs []int32) []int32 {
+	for _, v := range nbrs {
+		if int(v) != from {
+			dst = append(dst, v)
+		}
+	}
+	return dst
+}
+
+// Broadcasts implements peer.Broadcaster: Route is exactly
+// "every neighbor except the sender".
+func (Flood) Broadcasts() bool { return true }
+
 // ObserveHit implements peer.Router.
 func (Flood) ObserveHit(int, int, peer.Meta, int) {}
 

@@ -18,7 +18,7 @@ type Searcher interface {
 // OneShot runs a single query with a fixed TTL through an engine.
 type OneShot struct {
 	Label string
-	E     *peer.Engine
+	E     peer.QueryEngine
 	TTL   int
 }
 
@@ -36,7 +36,7 @@ func (o *OneShot) Search(origin int, category trace.InterestID) peer.Stats {
 // attempts — nearby nodes receive the query repeatedly, which is exactly
 // the overhead the paper's related-work section points out.
 type ExpandingRing struct {
-	E           *peer.Engine
+	E           peer.QueryEngine
 	Start, Step int
 	Max         int
 }
@@ -70,7 +70,7 @@ func (e *ExpandingRing) Search(origin int, category trace.InterestID) peer.Stats
 // flood reissue also retrains the rules for next time. Requires an engine
 // whose routers are strict Assoc instances.
 type AssocTwoPhase struct {
-	E   *peer.Engine
+	E   peer.QueryEngine
 	TTL int
 }
 
@@ -97,7 +97,7 @@ func (a *AssocTwoPhase) Search(origin int, category trace.InterestID) peer.Stats
 // probe: request and response) before falling back to a flood. Successful
 // floods refresh the shortcut list.
 type Shortcuts struct {
-	E        *peer.Engine
+	E        peer.QueryEngine
 	TTL      int
 	MaxProbe int
 	MaxKeep  int
@@ -107,7 +107,7 @@ type Shortcuts struct {
 }
 
 // NewShortcuts wraps an engine with per-origin shortcut lists.
-func NewShortcuts(e *peer.Engine, ttl, maxProbe, maxKeep int) *Shortcuts {
+func NewShortcuts(e peer.QueryEngine, ttl, maxProbe, maxKeep int) *Shortcuts {
 	return &Shortcuts{
 		E: e, TTL: ttl, MaxProbe: maxProbe, MaxKeep: maxKeep,
 		lists: make(map[int]map[trace.InterestID][]int32),
@@ -126,7 +126,7 @@ func (s *Shortcuts) Search(origin int, category trace.InterestID) peer.Stats {
 		}
 		st.QueryMessages++ // direct probe
 		st.HitMessages++   // probe response
-		if s.E.Content.Hosts(int(target), category) {
+		if s.E.ContentModel().Hosts(int(target), category) {
 			st.Found = true
 			st.Hits = 1
 			st.FirstHitHops = 1
@@ -175,12 +175,10 @@ func (s *Shortcuts) remember(origin int, category trace.InterestID, target int32
 // RunWorkload drives nQueries through a Searcher: origins uniform,
 // categories from each origin's interest profile — the workload all
 // network experiments share.
-func RunWorkload(rng *stats.RNG, s Searcher, e *peer.Engine, nQueries int) []peer.Stats {
+func RunWorkload(rng *stats.RNG, s Searcher, e peer.QueryEngine, nQueries int) []peer.Stats {
 	out := make([]peer.Stats, 0, nQueries)
-	for i := 0; i < nQueries; i++ {
-		origin := rng.Intn(e.G.N())
-		cat := e.Content.DrawQuery(rng, origin)
-		out = append(out, s.Search(origin, cat))
+	for _, j := range peer.DrawWorkload(rng, e.ContentModel(), e.Nodes(), nQueries) {
+		out = append(out, s.Search(j.Origin, j.Category))
 	}
 	return out
 }

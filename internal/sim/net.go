@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"arq/internal/peer"
+	"arq/internal/stats"
+)
+
+// NetEngine is the workload surface a message-level network engine
+// exposes to the sim harness: both peer.Engine and the struct-of-arrays
+// flat.Engine satisfy it, so sweeps can choose the engine per spec.
+// (peer.ActorNet's workload takes a worker count and is driven by
+// cmd/arqnet directly.)
+type NetEngine interface {
+	Nodes() int
+	Workload(rng *stats.RNG, nQueries, ttl int) []peer.Stats
+}
+
+// NetSpec describes one engine-backed network simulation. Engine is a
+// factory invoked inside the worker goroutine — engines are
+// single-goroutine objects, so a NetSpec is safe to fan out.
+type NetSpec struct {
+	Name string
+	// Engine constructs the network engine (graph, content, routers).
+	Engine func() NetEngine
+	// Seed feeds the workload RNG; the engine factory should derive its
+	// own seeds so a spec is fully self-contained.
+	Seed uint64
+	// Blocks is the number of tested blocks; BlockSize is queries per
+	// block — the network analogue of the policy harness's query blocks.
+	Blocks, BlockSize int
+	// TTL bounds each query.
+	TTL int
+}
+
+// RunNet drives an engine-backed workload through the same block
+// structure as Run: each block is BlockSize queries, the per-block
+// success rate feeds the Success series and the per-block mean reach
+// fraction feeds Coverage, so network runs produce the same *Result
+// shape (and reuse the same reporting and sweep plumbing) as the
+// paper's policy runs.
+func RunNet(spec NetSpec) *Result {
+	start := time.Now()
+	res := &Result{
+		Name:     spec.Name,
+		Coverage: stats.NewSeries(spec.Name + "/coverage"),
+		Success:  stats.NewSeries(spec.Name + "/success"),
+	}
+	e := spec.Engine()
+	n := float64(e.Nodes())
+	rng := stats.NewRNG(spec.Seed)
+	for b := 0; b < spec.Blocks; b++ {
+		agg := peer.Summarize(e.Workload(rng, spec.BlockSize, spec.TTL))
+		res.Blocks++
+		res.Trials++
+		res.Success.Add(agg.SuccessRate)
+		res.Coverage.Add(agg.AvgReached / n)
+	}
+	res.WallNanos = time.Since(start).Nanoseconds()
+	mRuns.Inc()
+	mBlocks.Add(int64(res.Blocks))
+	mTrials.Add(int64(res.Trials))
+	mRunNs.Observe(res.WallNanos)
+	return res
+}
+
+// SweepNet runs every network spec across workers goroutines
+// (workers <= 0 selects GOMAXPROCS), returning results in spec order.
+// Deterministic for deterministic engines: each spec owns its seeds.
+func SweepNet(specs []NetSpec, workers int) []*Result {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(specs) {
+		workers = len(specs)
+	}
+	results := make([]*Result, len(specs))
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i] = RunNet(specs[i])
+			}
+		}()
+	}
+	for i := range specs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results
+}
