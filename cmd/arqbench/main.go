@@ -40,6 +40,7 @@ import (
 	"arq/internal/peer/flat"
 	"arq/internal/report"
 	"arq/internal/routing"
+	"arq/internal/scenario"
 	"arq/internal/sim"
 	"arq/internal/stats"
 	"arq/internal/trace"
@@ -50,7 +51,7 @@ var (
 	trials    = flag.Int("trials", 365, "tested blocks per trace-driven run (the paper uses 365)")
 	seed      = flag.Uint64("seed", 1, "master seed for all generators")
 	markdown  = flag.Bool("markdown", false, "emit Markdown tables instead of ASCII")
-	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults, transport, scale)")
+	section   = flag.String("section", "", "run only the named sections, comma-separated (policies, fig1, fig2, fig3, fig4, static, import, grid, incremental, recovery, network, concurrent, sharded, rewire, faults, transport, scale, scenarios)")
 	quick     = flag.Bool("quick", false, "reduced scale for a fast smoke run")
 	jsonOut   = flag.String("json", "", "write a machine-readable benchmark artifact to this path")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this path")
@@ -143,6 +144,7 @@ func main() {
 	run("faults", faults)
 	run("transport", transportSection)
 	run("scale", scale)
+	run("scenarios", scenarios)
 
 	if *jsonOut != "" {
 		art.GoVersion = runtime.Version()
@@ -677,6 +679,60 @@ func scale() {
 			"ns_per_msg":          nsPerMsg,
 			"heap_per_node_bytes": heapPerNode,
 		})
+	}
+	emit(t)
+}
+
+// scenarios sweeps the unified scenario grid: every router family of
+// the deployment comparison against every preset scenario (static
+// baseline, community structure with super-peer hubs and workload
+// roles, a free-rider-heavy network, top-k early termination, and
+// steady churn), all on the flat struct-of-arrays engine driven through
+// scenario.Runner — one workload model for every engine and every
+// experiment. Recorded keys: success_rate and msgs_per_query are
+// deterministic given the seed; ns_per_msg is a perf key for arqcheck
+// (only a 10x slowdown fails CI).
+func scenarios() {
+	n := 1200
+	warm, measure := 5000, 1500
+	if *quick {
+		n, warm, measure = 300, 1200, 400
+	}
+	t := metrics.NewTable(fmt.Sprintf("Scenario matrix — %d-node power-law overlay, flat engine, %d measured queries after %d warm-up", n, measure, warm),
+		"scenario/strategy", "success", "msgs/query", "ns/msg")
+	for _, sc := range scenario.Presets(n, *seed) {
+		g0, m0 := sc.Build()
+		for _, strat := range scenario.Strategies(g0, m0, sc.Query, sc.Seed) {
+			// Fresh substrate per cell: the runner mutates the graph and
+			// model under churn, and Build is deterministic.
+			g, m := sc.Build()
+			search, eng, newRouter := strat.Build(func(f func(u int) peer.Router) peer.QueryEngine {
+				return flat.NewEngine(g, m, f)
+			})
+			r := scenario.NewRunner(sc, g, m, eng, search, newRouter)
+			r.Block(warm)
+			start := time.Now()
+			res := r.Block(measure)
+			elapsed := time.Since(start)
+
+			agg := peer.Summarize(res)
+			totalMsgs := 0
+			for _, s := range res {
+				totalMsgs += s.Total()
+			}
+			nsPerMsg := 0.0
+			if totalMsgs > 0 {
+				nsPerMsg = float64(elapsed.Nanoseconds()) / float64(totalMsgs)
+			}
+			name := sc.Name + "/" + strat.Name
+			t.AddRow(name, agg.SuccessRate, fmt.Sprintf("%.0f", agg.AvgMessages),
+				fmt.Sprintf("%.1f", nsPerMsg))
+			rec("scenarios", name, map[string]float64{
+				"success_rate":   agg.SuccessRate,
+				"msgs_per_query": agg.AvgMessages,
+				"ns_per_msg":     nsPerMsg,
+			})
+		}
 	}
 	emit(t)
 }

@@ -70,7 +70,7 @@ func main() {
 	case "smallworld":
 		g = overlay.WattsStrogatz(rng, *nodes, 4, 0.1)
 	default:
-		fmt.Fprintf(os.Stderr, "arqnet: unknown topology %q\n", *topology)
+		fmt.Fprintf(os.Stderr, "arqnet: unknown topology %q (valid: gnutella, random, smallworld)\n", *topology)
 		os.Exit(2)
 	}
 	model := content.BuildClustered(rng.Split(), g, content.DefaultConfig())
@@ -80,7 +80,7 @@ func main() {
 		return
 	}
 	if *engine != "sequential" && *engine != "flat" {
-		fmt.Fprintf(os.Stderr, "arqnet: unknown engine %q\n", *engine)
+		fmt.Fprintf(os.Stderr, "arqnet: unknown engine %q (valid: sequential, flat, actor)\n", *engine)
 		os.Exit(2)
 	}
 
@@ -185,7 +185,7 @@ func buildSearcher(g *overlay.Graph, model *content.Model) (routing.Searcher, pe
 		e := mk(func(u int) peer.Router { return routing.Flood{} })
 		return routing.NewShortcuts(e, *ttl, 5, 10), e, true, nil
 	default:
-		return nil, nil, false, fmt.Errorf("arqnet: unknown router %q", *router)
+		return nil, nil, false, fmt.Errorf("arqnet: unknown router %q (valid: flood, expring, kwalk, assoc, assoc2ph, ri, shortcuts)", *router)
 	}
 }
 

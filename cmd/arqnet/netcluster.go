@@ -27,18 +27,20 @@ var (
 	listenAddr = flag.String("listen", "", "run one servent node on this address (e.g. 127.0.0.1:7001)")
 	bootstrap  = flag.String("bootstrap", "", "comma-separated peer addresses to dial in -listen mode")
 	nodeID     = flag.Int("nodeid", 0, "this node's id in -listen mode (drives its deterministic library)")
+	freeRiders = flag.Float64("freeriders", 0, "netcluster: fraction of nodes sharing nothing (scenario free-rider marking)")
 )
 
 // runNetCluster drives cluster.Run with the shared workload flags and
 // prints the transport-level summary the net-smoke CI job asserts on.
 func runNetCluster() {
 	res, err := cluster.Run(cluster.Config{
-		N:       *netN,
-		Warm:    *warm,
-		Queries: *nq,
-		TTL:     *ttl,
-		Seed:    int64(*seed),
-		Dir:     *logDir,
+		N:             *netN,
+		Warm:          *warm,
+		Queries:       *nq,
+		TTL:           *ttl,
+		Seed:          int64(*seed),
+		Dir:           *logDir,
+		FreeRiderFrac: *freeRiders,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arqnet:", err)

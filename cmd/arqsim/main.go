@@ -28,6 +28,7 @@ import (
 	"arq/internal/peer"
 	"arq/internal/peer/flat"
 	"arq/internal/routing"
+	"arq/internal/scenario"
 	"arq/internal/sim"
 	"arq/internal/stats"
 	"arq/internal/trace"
@@ -53,6 +54,7 @@ var (
 	netRouter = flag.String("router", "flood", "net: flood | assoc per-node router")
 	netNodes  = flag.Int("nodes", 2000, "net: overlay size")
 	netTTL    = flag.Int("ttl", 7, "net: query TTL")
+	scenName  = flag.String("scenario", "", "run a preset scenario (see internal/scenario): policy mode projects it onto the trace generator, -net drives the full dynamic workload")
 )
 
 func main() {
@@ -114,12 +116,16 @@ func runNet() {
 	case "assoc":
 		factory = func(u int) peer.Router { return routing.NewAssoc(routing.DefaultAssocConfig()) }
 	default:
-		fmt.Fprintf(os.Stderr, "arqsim: unknown net router %q\n", *netRouter)
+		fmt.Fprintf(os.Stderr, "arqsim: unknown net router %q (valid: flood, assoc)\n", *netRouter)
 		os.Exit(2)
 	}
 	if *netEngine != "seq" && *netEngine != "flat" {
-		fmt.Fprintf(os.Stderr, "arqsim: unknown net engine %q\n", *netEngine)
+		fmt.Fprintf(os.Stderr, "arqsim: unknown net engine %q (valid: seq, flat)\n", *netEngine)
 		os.Exit(2)
+	}
+	if *scenName != "" {
+		runNetScenario(factory)
+		return
 	}
 	spec := sim.NetSpec{
 		Name: fmt.Sprintf("%s/%s", *netEngine, *netRouter),
@@ -153,6 +159,42 @@ func runNet() {
 		float64(res.Trials**blockSize)/(float64(res.WallNanos)/1e9))
 }
 
+// runNetScenario drives a preset scenario — dynamics, roles, top-k and
+// all — through the selected engine and router, via scenario.Runner and
+// the shared block harness.
+func runNetScenario(factory func(u int) peer.Router) {
+	sc, err := scenario.ByName(*scenName, *netNodes, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arqsim:", err)
+		os.Exit(2)
+	}
+	sc.Query.TTL = *netTTL
+	g, m := sc.Build()
+	var eng peer.QueryEngine
+	if *netEngine == "flat" {
+		eng = flat.NewEngine(g, m, factory)
+	} else {
+		eng = peer.NewEngine(g, m, factory)
+	}
+	search := &routing.OneShot{Label: *netRouter, E: eng, TTL: sc.Query.TTL, TopK: sc.Query.TopK, Stop: sc.Query.Stop}
+	r := scenario.NewRunner(sc, g, m, eng, search, factory)
+	res := sim.RunBlocks(fmt.Sprintf("%s/%s/%s", sc.Name, *netEngine, *netRouter), r, *trials, *blockSize)
+
+	if *csvOut {
+		fmt.Print("block,coverage,success\n")
+		for i := range res.Coverage.Values {
+			fmt.Printf("%d,%.6f,%.6f\n", i+1, res.Coverage.Values[i], res.Success.Values[i])
+		}
+		return
+	}
+	fmt.Printf("scenario=%s engine=%s router=%s nodes=%d ttl=%d block=%d trials=%d\n",
+		sc.Name, *netEngine, *netRouter, *netNodes, sc.Query.TTL, *blockSize, res.Trials)
+	fmt.Printf("coverage  %s  avg=%.3f\n", res.Coverage.Sparkline(60), res.MeanCoverage())
+	fmt.Printf("success   %s  avg=%.3f\n", res.Success.Sparkline(60), res.MeanSuccess())
+	fmt.Printf("wall: %.2fs (%.0f queries/sec)\n", float64(res.WallNanos)/1e9,
+		float64(res.Trials**blockSize)/(float64(res.WallNanos)/1e9))
+}
+
 func buildPolicy() (core.Policy, error) {
 	switch *policy {
 	case "static":
@@ -168,12 +210,22 @@ func buildPolicy() (core.Policy, error) {
 	case "incremental":
 		return &core.Incremental{}, nil
 	default:
-		return nil, fmt.Errorf("arqsim: unknown policy %q", *policy)
+		return nil, fmt.Errorf("arqsim: unknown policy %q (valid: static, sliding, wide, lazy, adaptive, incremental)", *policy)
 	}
 }
 
 func buildSource() (trace.Source, error) {
 	if *traceFile == "" {
+		if *scenName != "" {
+			// Project the scenario onto the trace generator: same
+			// category space, popularity, profile size, and regime
+			// shock, at the vantage node.
+			sc, err := scenario.ByName(*scenName, *netNodes, *seed)
+			if err != nil {
+				return nil, fmt.Errorf("arqsim: %w", err)
+			}
+			return tracegen.New(sc.TraceConfig(*blockSize, *trials+1)), nil
+		}
 		cfg := tracegen.PaperProfile()
 		cfg.Seed = *seed
 		cfg.BlockSize = *blockSize

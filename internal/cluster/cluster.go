@@ -41,6 +41,7 @@ import (
 	"time"
 
 	"arq/internal/obsv"
+	"arq/internal/scenario"
 	"arq/internal/transport"
 	"arq/internal/vantage"
 )
@@ -66,6 +67,15 @@ type NodeConfig struct {
 	// OutboxCap bounds each connection's outbound queue (0 = transport
 	// default).
 	OutboxCap int `json:"outbox_cap"`
+	// FreeRiderFrac marks that fraction of nodes as sharing nothing
+	// (scenario.ClusterPlan.FreeRider); 0 is the historical cluster.
+	FreeRiderFrac float64 `json:"free_rider_frac,omitempty"`
+}
+
+// plan derives the node's scenario plan; every child computes the same
+// plan from its own config, with no coordination.
+func (c NodeConfig) plan() scenario.ClusterPlan {
+	return scenario.ClusterPlan{N: c.N, Seed: c.Seed, FreeRiderFrac: c.FreeRiderFrac}
 }
 
 // NodeResult is what one child reports back through result.<id>.
@@ -110,6 +120,9 @@ type Config struct {
 	Timeout time.Duration
 	// QueryTimeout bounds each query's wait for a hit (0 = 2s).
 	QueryTimeout time.Duration
+	// FreeRiderFrac marks that fraction of nodes as sharing nothing
+	// (scenario.ClusterPlan.FreeRider); 0 is the historical cluster.
+	FreeRiderFrac float64
 }
 
 // Result aggregates the cluster run for reporting.
@@ -135,93 +148,29 @@ type Result struct {
 	PerNode          []NodeResult
 }
 
+// The cluster's content placement, topology, and query mix now live in
+// scenario.ClusterPlan; the package-level helpers delegate to a
+// zero-extras plan and stay byte-identical to the historical cluster.
+
 // Universe returns the topic-universe size for an N-node cluster.
-func Universe(n int) int { return 4 * n }
+func Universe(n int) int { return scenario.ClusterPlan{N: n}.Universe() }
 
 // Owners returns the two nodes holding topic t.
-func Owners(t, n int) (int, int) { return t % n, (t + 1) % n }
+func Owners(t, n int) (int, int) { return scenario.ClusterPlan{N: n}.Owners(t) }
 
 // SearchString is the query text for a topic; its tokens conjunctively
 // match exactly that topic's files.
-func SearchString(t int) string { return fmt.Sprintf("topic-%03d keywords", t) }
+func SearchString(t int) string { return scenario.ClusterPlan{}.SearchString(t) }
 
 // Library builds node id's deterministic shared library: one file per
 // owned topic per replica shard.
 func Library(id, n int) []vantage.SharedFile {
-	var lib []vantage.SharedFile
-	for t := 0; t < Universe(n); t++ {
-		a, b := Owners(t, n)
-		shard := -1
-		if a == id {
-			shard = 0
-		} else if b == id {
-			shard = 1
-		}
-		if shard < 0 {
-			continue
-		}
-		lib = append(lib, vantage.SharedFile{
-			Name: fmt.Sprintf("topic-%03d keywords shard%d.dat", t, shard),
-			Size: uint32(1024 * (t + 1)),
-		})
-	}
-	return lib
+	return scenario.ClusterPlan{N: n}.Library(id)
 }
 
 // Neighbours returns the ring+chord dial set for node id: (id+1)%n and
 // (id+2)%n, deduplicated and never self.
-func Neighbours(id, n int) []int {
-	var out []int
-	for _, d := range []int{1, 2} {
-		p := (id + d) % n
-		if p == id {
-			continue
-		}
-		dup := false
-		for _, q := range out {
-			if q == p {
-				dup = true
-			}
-		}
-		if !dup {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
-// pickTopic draws one query topic for node id: 70% from topics owned by
-// a ring successor but not by id (paths the rule learner warms), 30%
-// uniform over topics id does not own. When exclusion empties a pool
-// (tiny N replicates everything everywhere) the draw falls back to the
-// whole universe — a self-owned topic still hits via its other replica.
-func pickTopic(r *rand.Rand, id, n int) int {
-	u := Universe(n)
-	ownedBySelf := func(t int) bool { a, b := Owners(t, n); return a == id || b == id }
-	var hot, cold []int
-	succ := map[int]bool{}
-	for _, p := range Neighbours(id, n) {
-		succ[p] = true
-	}
-	for t := 0; t < u; t++ {
-		if ownedBySelf(t) {
-			continue
-		}
-		cold = append(cold, t)
-		a, b := Owners(t, n)
-		if succ[a] || succ[b] {
-			hot = append(hot, t)
-		}
-	}
-	pool := cold
-	if len(hot) > 0 && r.Float64() < 0.7 {
-		pool = hot
-	}
-	if len(pool) == 0 {
-		return r.Intn(u)
-	}
-	return pool[r.Intn(len(pool))]
-}
+func Neighbours(id, n int) []int { return scenario.ClusterPlan{N: n}.Neighbours(id) }
 
 // ChildMain turns this process into a cluster node when ChildEnv is set
 // and never returns in that case; in the parent it is a no-op. Hosting
@@ -292,7 +241,8 @@ func runNode(cfg NodeConfig) error {
 	if err != nil {
 		return err
 	}
-	for _, f := range Library(cfg.ID, cfg.N) {
+	plan := cfg.plan()
+	for _, f := range plan.Library(cfg.ID) {
 		s.Share(f.Name, f.Size)
 	}
 	if err := writeMark(cfg.Dir, "addr", cfg.ID, []byte(s.Addr())); err != nil {
@@ -301,7 +251,7 @@ func runNode(cfg NodeConfig) error {
 	if err := awaitFiles(cfg.Dir, "addr", cfg.N, deadline); err != nil {
 		return err
 	}
-	for _, p := range Neighbours(cfg.ID, cfg.N) {
+	for _, p := range plan.Neighbours(cfg.ID) {
 		b, err := os.ReadFile(filepath.Join(cfg.Dir, fmt.Sprintf("addr.%d", p)))
 		if err != nil {
 			return err
@@ -320,7 +270,7 @@ func runNode(cfg NodeConfig) error {
 	r := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919))
 	qt := time.Duration(cfg.QueryTimeoutMS) * time.Millisecond
 	for i := 0; i < cfg.Warm; i++ {
-		_, _ = s.Search(SearchString(pickTopic(r, cfg.ID, cfg.N)), byte(cfg.TTL), qt)
+		_, _ = s.Search(plan.SearchString(plan.PickTopic(r, cfg.ID)), byte(cfg.TTL), qt)
 	}
 	if err := writeMark(cfg.Dir, "warm", cfg.ID, nil); err != nil {
 		return err
@@ -338,7 +288,7 @@ func runNode(cfg NodeConfig) error {
 	start := time.Now()
 	for i := 0; i < cfg.Queries; i++ {
 		t0 := time.Now()
-		if _, err := s.Search(SearchString(pickTopic(r, cfg.ID, cfg.N)), byte(cfg.TTL), qt); err == nil {
+		if _, err := s.Search(plan.SearchString(plan.PickTopic(r, cfg.ID)), byte(cfg.TTL), qt); err == nil {
 			ns := time.Since(t0).Nanoseconds()
 			res.Hits++
 			res.LatenciesNS = append(res.LatenciesNS, ns)
@@ -437,6 +387,7 @@ func Run(cfg Config) (*Result, error) {
 			ID: i, N: cfg.N, Dir: dir,
 			Warm: cfg.Warm, Queries: cfg.Queries, TTL: cfg.TTL, Seed: cfg.Seed,
 			QueryTimeoutMS: int(cfg.QueryTimeout / time.Millisecond),
+			FreeRiderFrac:  cfg.FreeRiderFrac,
 		}
 		raw, err := json.Marshal(&nc)
 		if err != nil {

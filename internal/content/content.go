@@ -41,6 +41,54 @@ type Config struct {
 	// premise the paper's rules exploit (§III-B, [7][8][9]).
 	Communities   int
 	CommunityBias float64
+	// ClientFrac, BystanderFrac, and HubFrac split nodes into workload
+	// roles (the group model of go-hop-exchange's testplans): clients
+	// issue queries but share nothing, bystanders only relay (no
+	// content, no queries), and hubs are super-peer providers hosting
+	// HubBoost times the usual file draw. The remainder are ordinary
+	// providers. All zero (the default) disables the split entirely —
+	// every node is a provider, origins are uniform, and the RNG stream
+	// is exactly the historical one.
+	ClientFrac    float64
+	BystanderFrac float64
+	HubFrac       float64
+	// HubBoost multiplies a hub's file-count draw (0 = 4).
+	HubBoost int
+}
+
+// Role classifies a node's behaviour in the workload.
+type Role uint8
+
+const (
+	// RoleProvider hosts content and issues queries — the default for
+	// every node when the role fractions are zero.
+	RoleProvider Role = iota
+	// RoleHub is a super-peer provider hosting HubBoost times the usual
+	// files; hubs never free-ride.
+	RoleHub
+	// RoleClient issues queries but shares nothing.
+	RoleClient
+	// RoleBystander only relays: no content, no queries.
+	RoleBystander
+)
+
+// SharesContent reports whether the role hosts files at all.
+func (r Role) SharesContent() bool { return r == RoleProvider || r == RoleHub }
+
+// IssuesQueries reports whether the role originates queries.
+func (r Role) IssuesQueries() bool { return r != RoleBystander }
+
+// String names the role for tables and logs.
+func (r Role) String() string {
+	switch r {
+	case RoleHub:
+		return "hub"
+	case RoleClient:
+		return "client"
+	case RoleBystander:
+		return "bystander"
+	}
+	return "provider"
 }
 
 // DefaultConfig returns the placement used by the network experiments.
@@ -65,6 +113,8 @@ type Model struct {
 	profiles [][]trace.InterestID // node -> categories it queries
 	replicas []int                // category -> number of hosting nodes
 	comm     []int                // node -> community label (nil when unclustered)
+	roles    []Role               // node -> workload role (nil when the split is disabled)
+	origins  []int32              // query-issuing nodes (nil = all nodes)
 }
 
 // Community returns node u's community label, or 0 for unclustered models.
@@ -140,10 +190,36 @@ func communities(rng *stats.RNG, g NeighborGraph, k int) []int {
 	return label
 }
 
-func build(rng *stats.RNG, n int, cfg Config, comm []int) *Model {
+// clampConfig repairs out-of-range knobs so any config builds a usable
+// model: probability fields land in [0,1] (they feed rng.Bool draws)
+// and the count fields stay positive (a zero ProfileSize would leave
+// DrawQuery with nothing to draw from). Defaults pass through untouched.
+func clampConfig(cfg Config) Config {
 	if cfg.Categories <= 0 {
-		cfg = DefaultConfig()
+		return DefaultConfig()
 	}
+	if cfg.FilesPerNode <= 0 {
+		cfg.FilesPerNode = 1
+	}
+	if cfg.ProfileSize <= 0 {
+		cfg.ProfileSize = 1
+	}
+	for _, p := range []*float64{
+		&cfg.FreeRiderFrac, &cfg.CommunityBias,
+		&cfg.ClientFrac, &cfg.BystanderFrac, &cfg.HubFrac,
+	} {
+		if *p < 0 {
+			*p = 0
+		}
+		if *p > 1 {
+			*p = 1
+		}
+	}
+	return cfg
+}
+
+func build(rng *stats.RNG, n int, cfg Config, comm []int) *Model {
+	cfg = clampConfig(cfg)
 	m := &Model{
 		cfg:      cfg,
 		pop:      stats.NewZipf(cfg.Categories, cfg.PopularityZipf),
@@ -152,10 +228,38 @@ func build(rng *stats.RNG, n int, cfg Config, comm []int) *Model {
 		replicas: make([]int, cfg.Categories),
 		comm:     comm,
 	}
+	if cfg.ClientFrac > 0 || cfg.BystanderFrac > 0 || cfg.HubFrac > 0 {
+		m.roles = make([]Role, n)
+		for u := 0; u < n; u++ {
+			m.roles[u] = drawRole(rng, cfg)
+		}
+	}
 	for u := 0; u < n; u++ {
 		m.Reassign(rng, u)
 	}
+	if m.roles != nil {
+		for u := 0; u < n; u++ {
+			if m.roles[u].IssuesQueries() {
+				m.origins = append(m.origins, int32(u))
+			}
+		}
+	}
 	return m
+}
+
+// drawRole assigns one node's role with a single uniform draw, carving
+// [0,1) into hub / client / bystander / provider bands.
+func drawRole(rng *stats.RNG, cfg Config) Role {
+	r := rng.Float64()
+	switch {
+	case r < cfg.HubFrac:
+		return RoleHub
+	case r < cfg.HubFrac+cfg.ClientFrac:
+		return RoleClient
+	case r < cfg.HubFrac+cfg.ClientFrac+cfg.BystanderFrac:
+		return RoleBystander
+	}
+	return RoleProvider
 }
 
 // draw picks a category for node u: from its community's slice of the
@@ -186,8 +290,19 @@ func (m *Model) Reassign(rng *stats.RNG, u int) {
 		m.replicas[c]--
 	}
 	m.hosts[u] = nil
-	if !rng.Bool(m.cfg.FreeRiderFrac) {
+	role := m.Role(u)
+	share := false
+	switch role {
+	case RoleHub:
+		share = true // super-peers never free-ride
+	case RoleProvider:
+		share = !rng.Bool(m.cfg.FreeRiderFrac)
+	}
+	if share {
 		nf := 1 + rng.Intn(2*m.cfg.FilesPerNode)
+		if role == RoleHub {
+			nf *= m.hubBoost()
+		}
 		seen := map[trace.InterestID]bool{}
 		for i := 0; i < nf; i++ {
 			c := m.draw(rng, u)
@@ -275,6 +390,33 @@ func (m *Model) Replicas(c trace.InterestID) int {
 		return 0
 	}
 	return m.replicas[c]
+}
+
+func (m *Model) hubBoost() int {
+	if m.cfg.HubBoost > 0 {
+		return m.cfg.HubBoost
+	}
+	return 4
+}
+
+// Role returns node u's workload role; RoleProvider for every node when
+// the role split is disabled.
+func (m *Model) Role(u int) Role {
+	if m.roles == nil {
+		return RoleProvider
+	}
+	return m.roles[u]
+}
+
+// DrawOrigin draws the next query's origin: uniform over all n nodes
+// without a role split (a single rng.Intn(n) draw — the exact historical
+// stream), else uniform over the query-issuing nodes (everyone but
+// bystanders).
+func (m *Model) DrawOrigin(rng *stats.RNG, n int) int {
+	if len(m.origins) == 0 {
+		return rng.Intn(n)
+	}
+	return int(m.origins[rng.Intn(len(m.origins))])
 }
 
 // DrawQuery picks the category node u queries next, from its profile.

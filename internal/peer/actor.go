@@ -137,6 +137,7 @@ func (a *ActorNet) sweepState(u int) {
 
 type actorQuery struct {
 	meta     Meta
+	spec     QuerySpec
 	inflight atomic.Int64
 	done     chan struct{}
 
@@ -347,7 +348,15 @@ func (a *ActorNet) handleQuery(u int, m actorMsg) {
 		a.nodeState[u][q.meta.ID] = st
 	}
 	walk := a.routers[u].Walk()
-	o := EvalDelivery(a.content, q.meta.Origin, u, q.meta.Category, walk, st.visited, m.ttl)
+	// The budget counter is an atomic read: under concurrent delivery the
+	// check is best-effort (a few in-flight copies may still count before
+	// every node observes the filled budget), which matches a real
+	// network — stop notices race query copies there too. Sequential
+	// drivers see the exact deterministic budget.
+	o := EvalSpec(a.content, q.meta.Origin, u, q.meta.Category, walk, st.visited, m.ttl, int(q.hits.Load()), q.spec)
+	if o.Absorbed {
+		return
+	}
 	if o.Duplicate {
 		q.duplicates.Add(1)
 		return
@@ -459,22 +468,54 @@ func (a *ActorNet) Workload(rng *stats.RNG, nQueries, ttl, workers int) []Stats 
 	return out
 }
 
+// Nodes implements QueryEngine.
+func (a *ActorNet) Nodes() int { return a.g.N() }
+
+// ContentModel implements QueryEngine.
+func (a *ActorNet) ContentModel() *content.Model { return a.content }
+
+// NeighborsChanged implements DynamicEngine: node goroutines route from
+// the live graph, so there is no snapshot to patch. Like every dynamics
+// notification it must only be called while no query is in flight; the
+// next query's ring handoffs then order the mutation before every read.
+func (a *ActorNet) NeighborsChanged(u int, row []int32) {}
+
+// HostedChanged implements DynamicEngine: hosting checks read the live
+// content model (see NeighborsChanged for the idle-net requirement).
+func (a *ActorNet) HostedChanged(u int, old, now []trace.InterestID) {}
+
+// RouterReset implements DynamicEngine: a churned-in peer starts with a
+// fresh router. Only call while no query is in flight.
+func (a *ActorNet) RouterReset(u int, r Router) { a.routers[u] = r }
+
+// RunQueryPhase implements QueryEngine (see Engine.RunQueryPhase).
+func (a *ActorNet) RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) Stats {
+	return a.RunQuerySpec(origin, category, QuerySpec{TTL: ttl, FloodPhase: floodPhase})
+}
+
 // RunQuery injects a query and blocks until the network is quiescent for
 // it, returning its stats. Multiple RunQuery calls may be issued from
 // different goroutines concurrently; per-query state is independent.
 func (a *ActorNet) RunQuery(origin int, category trace.InterestID, ttl int) Stats {
+	return a.RunQuerySpec(origin, category, QuerySpec{TTL: ttl})
+}
+
+// RunQuerySpec is RunQuery under full QuerySpec semantics (top-k budget,
+// flood phase).
+func (a *ActorNet) RunQuerySpec(origin int, category trace.InterestID, spec QuerySpec) Stats {
 	if f := a.fault; f != nil {
 		f.Tick()
 	}
 	q := &actorQuery{
-		meta: Meta{ID: QueryID(a.nextID.Add(1)), Origin: origin, Category: category},
+		meta: Meta{ID: QueryID(a.nextID.Add(1)), Origin: origin, Category: category, FloodPhase: spec.FloodPhase},
+		spec: spec,
 		done: make(chan struct{}),
 	}
 	a.mu.Lock()
 	a.queries[q.meta.ID] = q
 	a.mu.Unlock()
 
-	a.send(origin, actorMsg{q: q, from: NoUpstream, ttl: ttl, hops: 0})
+	a.send(origin, actorMsg{q: q, from: NoUpstream, ttl: spec.TTL, hops: 0})
 	<-q.done
 
 	a.mu.Lock()

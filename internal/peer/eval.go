@@ -14,6 +14,40 @@ import (
 // is what lets the small-N golden tests pin all engines to identical
 // per-query stats.
 
+// StopRule selects how a top-k query stops propagating once its result
+// budget fills (Akbarinia et al.: stop after the best k answers instead
+// of exhausting TTL).
+type StopRule int
+
+const (
+	// StopAbsorb is the minimal rule: once k hits are collected, every
+	// copy still in flight is absorbed on arrival — not deduplicated,
+	// not counted as reaching a node, never forwarded. Hit nodes below
+	// budget keep forwarding normally.
+	StopAbsorb StopRule = iota
+	// StopAtHit additionally stops forwarding at every hit node, even
+	// below budget — each answer prunes its whole subtree, trading
+	// deeper coverage for less traffic.
+	StopAtHit
+)
+
+// QuerySpec is the full per-query semantics every engine consumes: the
+// TTL bound, the optional top-k termination budget, and the fallback
+// flood marker. The zero TopK is the classic TTL-exhaust query, byte
+// identical to the historical lifecycle.
+type QuerySpec struct {
+	// TTL bounds forwards after the origin.
+	TTL int
+	// TopK, when positive, terminates the query once TopK hits are
+	// collected (per Stop); 0 runs to TTL exhaustion.
+	TopK int
+	// Stop selects the stop-propagation rule once TopK is set.
+	Stop StopRule
+	// FloodPhase marks the origin-level revert-to-flooding reissue
+	// (Meta.FloodPhase).
+	FloodPhase bool
+}
+
 // DeliveryOutcome is the fate of one query copy arriving at a node,
 // decided by rules shared across all engines. The engine owns transport
 // (queues, channels, frontiers) and bookkeeping state; the outcome tells
@@ -28,12 +62,15 @@ type DeliveryOutcome struct {
 	// Hit: matching content found on first receipt — count the hit and
 	// propagate a query-hit along the reverse path.
 	Hit bool
-	// Terminate: a walker landed on matching content — do not forward,
-	// whether or not an earlier walker already claimed the hit.
+	// Terminate: do not forward — a walker landed on matching content,
+	// or a top-k hit pruned its subtree (see StopRule).
 	Terminate bool
 	// Forward: consult the router and forward (TTL remaining and neither
 	// suppressed nor terminated).
 	Forward bool
+	// Absorbed: the query's top-k budget was already met, so this copy
+	// dies on arrival — count nothing, forward nothing.
+	Absorbed bool
 }
 
 // EvalDelivery applies the shared query-lifecycle rules to one delivery:
@@ -74,7 +111,40 @@ func EvalHostedDelivery(hosts, walk, visited bool, ttl int) DeliveryOutcome {
 	return o
 }
 
-// WorkloadJob is one pre-drawn query of a workload: origins are uniform,
+// EvalSpec is the spec-aware delivery evaluation: EvalDelivery extended
+// with the query's top-k budget. hits is how many hits the query has
+// collected so far (the engine's counter). With spec.TopK == 0 it is
+// exactly EvalDelivery — the budget logic lives here, in one place, so
+// no engine carries its own copy of the termination rules.
+func EvalSpec(m *content.Model, origin, u int, cat trace.InterestID, walk, visited bool, ttl, hits int, spec QuerySpec) DeliveryOutcome {
+	if spec.TopK > 0 && hits >= spec.TopK {
+		return DeliveryOutcome{Absorbed: true}
+	}
+	if !walk && visited {
+		return DeliveryOutcome{Duplicate: true}
+	}
+	return EvalHostedSpec(u != origin && m.Hosts(u, cat), walk, visited, ttl, hits, spec)
+}
+
+// EvalHostedSpec is EvalSpec for engines that resolve content hosting
+// themselves (the flat engine's bitset rows); the caller must already
+// have excluded the origin from hosts.
+func EvalHostedSpec(hosts, walk, visited bool, ttl, hits int, spec QuerySpec) DeliveryOutcome {
+	if spec.TopK > 0 && hits >= spec.TopK {
+		return DeliveryOutcome{Absorbed: true}
+	}
+	o := EvalHostedDelivery(hosts, walk, visited, ttl)
+	if o.Hit && spec.TopK > 0 && (spec.Stop == StopAtHit || hits+1 >= spec.TopK) {
+		// This hit prunes its subtree: either the rule stops at every
+		// hit, or this is the hit that fills the budget.
+		o.Terminate = true
+		o.Forward = false
+	}
+	return o
+}
+
+// WorkloadJob is one pre-drawn query of a workload: origins uniform over
+// the model's query-issuing nodes (all nodes without a role split),
 // categories drawn from each origin's interest profile.
 type WorkloadJob struct {
 	Origin   int
@@ -89,7 +159,7 @@ type WorkloadJob struct {
 func DrawWorkload(rng *stats.RNG, m *content.Model, n, nQueries int) []WorkloadJob {
 	jobs := make([]WorkloadJob, nQueries)
 	for i := range jobs {
-		jobs[i].Origin = rng.Intn(n)
+		jobs[i].Origin = m.DrawOrigin(rng, n)
 		jobs[i].Category = m.DrawQuery(rng, jobs[i].Origin)
 	}
 	return jobs
@@ -134,4 +204,29 @@ type QueryEngine interface {
 	// RunQueryPhase is RunQuery with control over Meta.FloodPhase (the
 	// origin-level revert-to-flooding reissue).
 	RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) Stats
+	// RunQuerySpec runs one query under full QuerySpec semantics (TTL,
+	// top-k budget, flood phase); RunQuery and RunQueryPhase are its
+	// zero-budget special cases.
+	RunQuerySpec(origin int, category trace.InterestID, spec QuerySpec) Stats
+}
+
+// DynamicEngine is the dynamics surface of an engine: the notifications
+// a scenario runner issues after mutating the shared graph or content
+// model between queries (churn, content shocks). The map-based Engine
+// and ActorNet read the live structures, so their patch notifications
+// are no-ops; the flat engine snapshots adjacency into a CSR and
+// hosting into a bitset at construction, and applies these as
+// epoch-versioned patches. Never call while a query is in flight.
+type DynamicEngine interface {
+	QueryEngine
+	// NeighborsChanged installs row as node u's current adjacency. The
+	// runner calls it for every node whose neighbor list a rewire
+	// touched (the churned node and every old/new neighbor).
+	NeighborsChanged(u int, row []int32)
+	// HostedChanged reports node u's hosted categories changing from old
+	// to now (content model already updated).
+	HostedChanged(u int, old, now []trace.InterestID)
+	// RouterReset replaces node u's router — a fresh peer forgets the
+	// learned state of the one it replaced.
+	RouterReset(u int, r Router)
 }

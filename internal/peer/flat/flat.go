@@ -68,13 +68,22 @@ type Engine struct {
 	// A query touches exactly one row — N/8 bytes, cache-resident even
 	// at N=1M — so the per-delivery hosting check is a single exact bit
 	// test, never a content-model pointer chase. Snapshotted at
-	// construction: the flat engine assumes a static content model
-	// (true of every current workload; the mutating churn experiments
-	// run on the map-based engines). zeroHost backs categories outside
-	// the model so the hot loop stays branch-free.
+	// construction and kept current under dynamics by HostedChanged
+	// patches (clear the old categories' bits, set the new). zeroHost
+	// backs categories outside the model so the hot loop stays
+	// branch-free.
 	hostBits  []uint64
 	hostWords int
 	zeroHost  []uint64
+
+	// dynRows is the overlay delta on top of the immutable CSR: per-node
+	// adjacency overrides installed by NeighborsChanged when churn
+	// rewires the graph. nil until the first patch, so static runs pay
+	// only a nil check per fan-out; dynEpoch counts applied patches
+	// (adjacency, hosting, router) and versions the engine's view of the
+	// world for tests and debugging.
+	dynRows  map[int32][]int32
+	dynEpoch uint64
 
 	// Frontier buffers, swapped each TTL step; fwd holds the frontier
 	// survivors between the two passes of the flood fast path.
@@ -87,7 +96,10 @@ type Engine struct {
 	// pass a single random-access stream its prefetch covers with no
 	// wasted touches. Legal only because flood routers are stateless;
 	// stateful strategies keep the interleaved single-pass loop.
+	// nBcast counts broadcasting routers so RouterReset can maintain
+	// allBcast incrementally.
 	allBcast bool
+	nBcast   int
 
 	// appenders[u] is non-nil when routers[u] supports the
 	// allocation-free peer.RouteAppender fast path; routeBuf is its
@@ -136,7 +148,6 @@ func NewEngine(g *overlay.Graph, m *content.Model, factory func(u int) peer.Rout
 		broadcast: make([]bool, n),
 		nextID:    1,
 	}
-	allBcast := n > 0
 	for u := 0; u < n; u++ {
 		e.routers[u] = factory(u)
 		if ap, ok := e.routers[u].(peer.RouteAppender); ok {
@@ -144,16 +155,83 @@ func NewEngine(g *overlay.Graph, m *content.Model, factory func(u int) peer.Rout
 		}
 		if b, ok := e.routers[u].(peer.Broadcaster); ok && b.Broadcasts() {
 			e.broadcast[u] = true
-		} else {
-			allBcast = false
+			e.nBcast++
 		}
 		for _, c := range m.HostedCategories(u) {
 			e.hostBits[int(c)*words+u/64] |= 1 << (uint(u) % 64)
 		}
 	}
-	e.allBcast = allBcast
+	e.allBcast = n > 0 && e.nBcast == n
 	return e
 }
+
+// neighbors resolves node u's current adjacency: the dynamics override
+// when one is installed, else the immutable CSR row.
+func (e *Engine) neighbors(u int32) []int32 {
+	if e.dynRows != nil {
+		if row, ok := e.dynRows[u]; ok {
+			return row
+		}
+	}
+	return e.csr.Neighbors(int(u))
+}
+
+// NeighborsChanged implements peer.DynamicEngine: installs row (copied)
+// as node u's adjacency, an overlay delta on top of the immutable CSR.
+// Never call while a query is in flight.
+func (e *Engine) NeighborsChanged(u int, row []int32) {
+	if e.dynRows == nil {
+		e.dynRows = make(map[int32][]int32)
+	}
+	e.dynRows[int32(u)] = append([]int32(nil), row...)
+	e.dynEpoch++
+}
+
+// HostedChanged implements peer.DynamicEngine: patches the inverted
+// host bitset, clearing node u's bit in every old category row and
+// setting it in every new one. Never call while a query is in flight.
+func (e *Engine) HostedChanged(u int, old, now []trace.InterestID) {
+	w := u / 64
+	bit := uint64(1) << (uint(u) % 64)
+	for _, c := range old {
+		if ci := int(c); ci >= 0 && (ci+1)*e.hostWords <= len(e.hostBits) {
+			e.hostBits[ci*e.hostWords+w] &^= bit
+		}
+	}
+	for _, c := range now {
+		if ci := int(c); ci >= 0 && (ci+1)*e.hostWords <= len(e.hostBits) {
+			e.hostBits[ci*e.hostWords+w] |= bit
+		}
+	}
+	e.dynEpoch++
+}
+
+// RouterReset implements peer.DynamicEngine: swaps in a fresh router for
+// node u and re-derives its fast-path capabilities (RouteAppender,
+// Broadcaster, and the engine-wide allBcast flood gate). Never call
+// while a query is in flight.
+func (e *Engine) RouterReset(u int, r peer.Router) {
+	if e.broadcast[u] {
+		e.nBcast--
+	}
+	e.routers[u] = r
+	e.appenders[u] = nil
+	if ap, ok := r.(peer.RouteAppender); ok {
+		e.appenders[u] = ap
+	}
+	e.broadcast[u] = false
+	if b, ok := r.(peer.Broadcaster); ok && b.Broadcasts() {
+		e.broadcast[u] = true
+		e.nBcast++
+	}
+	e.allBcast = e.Nodes() > 0 && e.nBcast == e.Nodes()
+	e.dynEpoch++
+}
+
+// DynEpoch returns how many dynamics patches (adjacency, hosting,
+// router) have been applied — 0 means the construction-time snapshots
+// are still exact.
+func (e *Engine) DynEpoch() uint64 { return e.dynEpoch }
 
 // Nodes implements peer.QueryEngine.
 func (e *Engine) Nodes() int { return e.csr.N() }
@@ -173,9 +251,17 @@ func (e *Engine) RunQuery(origin int, category trace.InterestID, ttl int) peer.S
 // RunQueryPhase is RunQuery with control over Meta.FloodPhase, used to
 // reissue a failed rule-routed query as a flood.
 func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) peer.Stats {
+	return e.RunQuerySpec(origin, category, peer.QuerySpec{TTL: ttl, FloodPhase: floodPhase})
+}
+
+// RunQuerySpec is RunQuery under full QuerySpec semantics. Top-k queries
+// take the generic single-pass loop — the budget can fill mid-frontier,
+// so the two-pass flood split's batched fan-out would overshoot.
+func (e *Engine) RunQuerySpec(origin int, category trace.InterestID, spec peer.QuerySpec) peer.Stats {
+	ttl := spec.TTL
 	id := e.nextID
 	e.nextID++
-	meta := peer.Meta{ID: id, Origin: origin, Category: category, FloodPhase: floodPhase}
+	meta := peer.Meta{ID: id, Origin: origin, Category: category, FloodPhase: spec.FloodPhase}
 	var st peer.Stats
 
 	// Advance the dedup window: one epoch per query. On uint32
@@ -197,7 +283,7 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 	org := int32(origin)
 
 	walk := e.routers[origin].Walk()
-	if e.allBcast && !walk {
+	if e.allBcast && !walk && spec.TopK == 0 {
 		e.runFlood(org, hb, ttl, meta, &st)
 		peer.RecordQuery(&st)
 		return st
@@ -216,13 +302,18 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 				e.pfSink += uint64(e.seen[t]) + uint64(e.csr.TouchRow(t))
 			}
 			u := m.to
+			if spec.TopK > 0 && st.Hits >= spec.TopK {
+				// Budget met: in-flight copies are absorbed on arrival
+				// (the inline mirror of EvalHostedSpec's Absorbed).
+				continue
+			}
 			visited := e.seen[u] == e.epoch
 			if !walk && visited {
 				st.Duplicates++
 				continue
 			}
 			hosts := u != org && hb[uint(u)/64]>>(uint(u)%64)&1 != 0
-			o := peer.EvalHostedDelivery(hosts, walk, visited, rem)
+			o := peer.EvalHostedSpec(hosts, walk, visited, rem, st.Hits, spec)
 			if o.Duplicate {
 				st.Duplicates++
 				continue
@@ -249,7 +340,7 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 			if !o.Forward {
 				continue
 			}
-			nbrs := e.csr.Neighbors(int(u))
+			nbrs := e.neighbors(u)
 			if e.broadcast[u] {
 				// Flooding fans out straight from the CSR row: every
 				// neighbor except the sender, in neighbor order —
@@ -354,7 +445,7 @@ func (e *Engine) runFlood(org int32, hb []uint64, ttl int, meta peer.Meta, st *p
 			}
 			u := m.to
 			before := len(next)
-			for _, v := range e.csr.Neighbors(int(u)) {
+			for _, v := range e.neighbors(u) {
 				if v != m.from {
 					next = append(next, msg{to: v, from: u})
 				}

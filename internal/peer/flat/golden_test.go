@@ -2,8 +2,10 @@ package flat_test
 
 import (
 	"bytes"
+	"compress/gzip"
 	"encoding/json"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
@@ -186,20 +188,46 @@ func TestEngineGolden(t *testing.T) {
 		t.Fatal("golden bytes differ between worker counts 1 and 4")
 	}
 
-	path := filepath.Join("testdata", "engine_golden.json")
+	// The golden is stored gzipped (the JSON is ~32k lines); comparison
+	// happens on the decompressed bytes, and -update rewrites the .gz.
+	path := filepath.Join("testdata", "engine_golden.json.gz")
 	if *update {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := os.WriteFile(path, seqRun, 0o644); err != nil {
+		var buf bytes.Buffer
+		zw, err := gzip.NewWriterLevel(&buf, gzip.BestCompression)
+		if err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("wrote %s (%d bytes)", path, len(seqRun))
+		// The zero ModTime makes the compressed bytes reproducible.
+		if _, err := zw.Write(seqRun); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d bytes compressed, %d raw)", path, buf.Len(), len(seqRun))
 		return
 	}
-	want, err := os.ReadFile(path)
+	f, err := os.Open(path)
 	if err != nil {
 		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	defer f.Close()
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		t.Fatalf("bad gzip golden: %v", err)
+	}
+	want, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("decompress golden: %v", err)
+	}
+	if err := zr.Close(); err != nil {
+		t.Fatal(err)
 	}
 	if !bytes.Equal(seqRun, want) {
 		t.Fatalf("engine golden drifted: got %d bytes, want %d; rerun with -update and inspect the diff", len(seqRun), len(want))

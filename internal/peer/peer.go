@@ -146,6 +146,18 @@ func (e *Engine) Nodes() int { return e.G.N() }
 // ContentModel implements QueryEngine.
 func (e *Engine) ContentModel() *content.Model { return e.Content }
 
+// NeighborsChanged implements DynamicEngine: the map engine routes from
+// the live graph, so there is no adjacency snapshot to patch.
+func (e *Engine) NeighborsChanged(u int, row []int32) {}
+
+// HostedChanged implements DynamicEngine: hosting checks read the live
+// content model, so there is no hosting snapshot to patch.
+func (e *Engine) HostedChanged(u int, old, now []trace.InterestID) {}
+
+// RouterReset implements DynamicEngine: a churned-in peer starts with a
+// fresh router, forgetting its predecessor's learned state.
+func (e *Engine) RouterReset(u int, r Router) { e.Routers[u] = r }
+
 // delivery is one query copy in flight.
 type delivery struct {
 	to, from int
@@ -191,9 +203,16 @@ func (e *Engine) RunQuery(origin int, category trace.InterestID, ttl int) Stats 
 // RunQueryPhase is RunQuery with control over Meta.FloodPhase, used to
 // reissue a failed rule-routed query as a flood.
 func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, floodPhase bool) Stats {
+	return e.RunQuerySpec(origin, category, QuerySpec{TTL: ttl, FloodPhase: floodPhase})
+}
+
+// RunQuerySpec runs one query under full QuerySpec semantics: TTL bound,
+// optional top-k termination budget, and the fallback-flood marker.
+func (e *Engine) RunQuerySpec(origin int, category trace.InterestID, spec QuerySpec) Stats {
+	ttl := spec.TTL
 	id := e.nextID
 	e.nextID++
-	meta := Meta{ID: id, Origin: origin, Category: category, FloodPhase: floodPhase}
+	meta := Meta{ID: id, Origin: origin, Category: category, FloodPhase: spec.FloodPhase}
 	var st Stats
 
 	f := e.Fault
@@ -236,7 +255,10 @@ func (e *Engine) RunQueryPhase(origin int, category trace.InterestID, ttl int, f
 			continue
 		}
 
-		o := EvalDelivery(e.Content, origin, u, category, walk, visited[u], d.ttl)
+		o := EvalSpec(e.Content, origin, u, category, walk, visited[u], d.ttl, st.Hits, spec)
+		if o.Absorbed {
+			continue
+		}
 		if o.Duplicate {
 			st.Duplicates++
 			continue

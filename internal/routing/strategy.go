@@ -15,11 +15,15 @@ type Searcher interface {
 	Search(origin int, category trace.InterestID) peer.Stats
 }
 
-// OneShot runs a single query with a fixed TTL through an engine.
+// OneShot runs a single query with a fixed TTL through an engine. A
+// positive TopK turns every search into a top-k early-terminating query
+// (see peer.QuerySpec).
 type OneShot struct {
 	Label string
 	E     peer.QueryEngine
 	TTL   int
+	TopK  int
+	Stop  peer.StopRule
 }
 
 // Name implements Searcher.
@@ -27,7 +31,7 @@ func (o *OneShot) Name() string { return o.Label }
 
 // Search implements Searcher.
 func (o *OneShot) Search(origin int, category trace.InterestID) peer.Stats {
-	return o.E.RunQuery(origin, category, o.TTL)
+	return o.E.RunQuerySpec(origin, category, peer.QuerySpec{TTL: o.TTL, TopK: o.TopK, Stop: o.Stop})
 }
 
 // ExpandingRing implements the expanding-ring search of Lv et al. [5]: the
@@ -39,6 +43,8 @@ type ExpandingRing struct {
 	E           peer.QueryEngine
 	Start, Step int
 	Max         int
+	TopK        int
+	Stop        peer.StopRule
 }
 
 // Name implements Searcher.
@@ -48,7 +54,7 @@ func (e *ExpandingRing) Name() string { return "expanding-ring" }
 func (e *ExpandingRing) Search(origin int, category trace.InterestID) peer.Stats {
 	var acc peer.Stats
 	for ttl := e.Start; ttl <= e.Max; ttl += e.Step {
-		st := e.E.RunQuery(origin, category, ttl)
+		st := e.E.RunQuerySpec(origin, category, peer.QuerySpec{TTL: ttl, TopK: e.TopK, Stop: e.Stop})
 		acc.QueryMessages += st.QueryMessages
 		acc.HitMessages += st.HitMessages
 		acc.Duplicates += st.Duplicates
@@ -70,8 +76,10 @@ func (e *ExpandingRing) Search(origin int, category trace.InterestID) peer.Stats
 // flood reissue also retrains the rules for next time. Requires an engine
 // whose routers are strict Assoc instances.
 type AssocTwoPhase struct {
-	E   peer.QueryEngine
-	TTL int
+	E    peer.QueryEngine
+	TTL  int
+	TopK int
+	Stop peer.StopRule
 }
 
 // Name implements Searcher.
@@ -79,11 +87,11 @@ func (a *AssocTwoPhase) Name() string { return "assoc-two-phase" }
 
 // Search implements Searcher.
 func (a *AssocTwoPhase) Search(origin int, category trace.InterestID) peer.Stats {
-	st := a.E.RunQueryPhase(origin, category, a.TTL, false)
+	st := a.E.RunQuerySpec(origin, category, peer.QuerySpec{TTL: a.TTL, TopK: a.TopK, Stop: a.Stop})
 	if st.Found {
 		return st
 	}
-	fl := a.E.RunQueryPhase(origin, category, a.TTL, true)
+	fl := a.E.RunQuerySpec(origin, category, peer.QuerySpec{TTL: a.TTL, TopK: a.TopK, Stop: a.Stop, FloodPhase: true})
 	fl.QueryMessages += st.QueryMessages
 	fl.HitMessages += st.HitMessages
 	fl.Duplicates += st.Duplicates
@@ -101,6 +109,8 @@ type Shortcuts struct {
 	TTL      int
 	MaxProbe int
 	MaxKeep  int
+	TopK     int
+	Stop     peer.StopRule
 
 	// lists[origin][category] = candidate target nodes, most recent first.
 	lists map[int]map[trace.InterestID][]int32
@@ -137,7 +147,7 @@ func (s *Shortcuts) Search(origin int, category trace.InterestID) peer.Stats {
 		st.NodesReached++
 	}
 	// Shortcut miss: flood and learn from the result.
-	fl := s.E.RunQuery(origin, category, s.TTL)
+	fl := s.E.RunQuerySpec(origin, category, peer.QuerySpec{TTL: s.TTL, TopK: s.TopK, Stop: s.Stop})
 	fl.QueryMessages += st.QueryMessages
 	fl.HitMessages += st.HitMessages
 	fl.NodesReached += st.NodesReached

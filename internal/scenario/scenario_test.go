@@ -1,0 +1,215 @@
+package scenario_test
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"arq/internal/cluster"
+	"arq/internal/content"
+	"arq/internal/overlay"
+	"arq/internal/peer"
+	"arq/internal/peer/flat"
+	"arq/internal/scenario"
+	"arq/internal/stats"
+)
+
+// engineMaker builds a query engine over a freshly-built substrate.
+type engineMaker func(g *overlay.Graph, m *content.Model, f func(u int) peer.Router) peer.QueryEngine
+
+func seqMaker(g *overlay.Graph, m *content.Model, f func(u int) peer.Router) peer.QueryEngine {
+	return peer.NewEngine(g, m, f)
+}
+
+func flatMaker(g *overlay.Graph, m *content.Model, f func(u int) peer.Router) peer.QueryEngine {
+	return flat.NewEngine(g, m, f)
+}
+
+// runPreset drives one preset scenario's named strategy on the given
+// engine maker: warm-up if the strategy learns, then nQueries measured.
+func runPreset(t *testing.T, preset, stratName string, n, warm, nQueries int, mk engineMaker) []peer.Stats {
+	t.Helper()
+	sc, err := scenario.ByName(preset, n, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, m := sc.Build()
+	for _, strat := range scenario.Strategies(g, m, sc.Query, sc.Seed) {
+		if strat.Name != stratName {
+			continue
+		}
+		search, eng, newRouter := strat.Build(func(f func(u int) peer.Router) peer.QueryEngine {
+			return mk(g, m, f)
+		})
+		r := scenario.NewRunner(sc, g, m, eng, search, newRouter)
+		return r.Run(warm, nQueries)
+	}
+	t.Fatalf("strategy %q not in Strategies", stratName)
+	return nil
+}
+
+func sumTotal(all []peer.Stats) int {
+	t := 0
+	for _, s := range all {
+		t += s.Total()
+	}
+	return t
+}
+
+// Top-k early termination must (a) produce identical per-query stats on
+// the sequential and flat engines, and (b) measurably cut messages per
+// query against the TTL-exhaust baseline — the point of stopping at k
+// answers.
+func TestTopKEquivalenceAndSavings(t *testing.T) {
+	const n, q = 400, 300
+	topSeq := runPreset(t, "top-k", "flood", n, 0, q, seqMaker)
+	topFlat := runPreset(t, "top-k", "flood", n, 0, q, flatMaker)
+	for i := range topSeq {
+		if got, want := toRec(topFlat[i]), toRec(topSeq[i]); !recEqual(got, want) {
+			t.Fatalf("top-k query %d: flat %+v != seq %+v", i, got, want)
+		}
+	}
+	base := runPreset(t, "baseline", "flood", n, 0, q, seqMaker)
+	topMsgs, baseMsgs := sumTotal(topSeq), sumTotal(base)
+	if topMsgs >= baseMsgs {
+		t.Fatalf("top-k sent %d messages, TTL-exhaust %d: early termination saved nothing", topMsgs, baseMsgs)
+	}
+	// Budgeted hits can't exceed k.
+	for i, s := range topSeq {
+		if s.Hits > 3 {
+			t.Fatalf("top-k query %d collected %d hits > budget 3", i, s.Hits)
+		}
+	}
+}
+
+// Two runners over the same scenario must replay identical workloads
+// and identical dynamics, engine-independently.
+func TestRunnerDeterministicAcrossEngines(t *testing.T) {
+	const n, q = 200, 150
+	a := runPreset(t, "churn", "flood", n, 0, q, seqMaker)
+	b := runPreset(t, "churn", "flood", n, 0, q, flatMaker)
+	for i := range a {
+		if got, want := toRec(b[i]), toRec(a[i]); !recEqual(got, want) {
+			t.Fatalf("churn query %d: flat %+v != seq %+v", i, got, want)
+		}
+	}
+}
+
+// Role-split scenarios drive origins only through query-issuing nodes,
+// and every strategy list preset builds and answers queries.
+func TestPresetsSane(t *testing.T) {
+	names := scenario.Names()
+	if len(names) != 5 {
+		t.Fatalf("Names() = %v, want 5 presets", names)
+	}
+	for _, name := range names {
+		res := runPreset(t, name, "flood", 150, 0, 60, seqMaker)
+		if len(res) != 60 {
+			t.Fatalf("%s: got %d stats", name, len(res))
+		}
+		found := 0
+		for _, s := range res {
+			if s.Found {
+				found++
+			}
+		}
+		if found == 0 {
+			t.Fatalf("%s: flood found nothing in 60 queries", name)
+		}
+	}
+	if _, err := scenario.ByName("nope", 100, 1); err == nil || !strings.Contains(err.Error(), "baseline") {
+		t.Fatalf("ByName(nope) error %v should list valid names", err)
+	}
+}
+
+// Bystanders never originate queries in a role-split scenario.
+func TestRoleSplitOrigins(t *testing.T) {
+	sc, err := scenario.ByName("communities", 300, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, m := sc.Build()
+	_ = g
+	bystanders := 0
+	for u := 0; u < 300; u++ {
+		if m.Role(u) == content.RoleBystander {
+			bystanders++
+		}
+	}
+	if bystanders == 0 {
+		t.Skip("no bystanders drawn at this seed")
+	}
+	rng := stats.NewRNG(1)
+	for i := 0; i < 2000; i++ {
+		u := m.DrawOrigin(rng, 300)
+		if m.Role(u) == content.RoleBystander {
+			t.Fatalf("DrawOrigin returned bystander %d", u)
+		}
+	}
+}
+
+// The zero-extras ClusterPlan must replay the historical cluster
+// helpers byte for byte, and free-rider marking must be deterministic
+// and libraries empty for marked nodes.
+func TestClusterPlanCompat(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 8} {
+		p := scenario.ClusterPlan{N: n}
+		if p.Universe() != cluster.Universe(n) {
+			t.Fatalf("n=%d universe mismatch", n)
+		}
+		for tpc := 0; tpc < p.Universe(); tpc++ {
+			pa, pb := p.Owners(tpc)
+			ca, cb := cluster.Owners(tpc, n)
+			if pa != ca || pb != cb {
+				t.Fatalf("n=%d owners(%d) mismatch", n, tpc)
+			}
+			if p.SearchString(tpc) != cluster.SearchString(tpc) {
+				t.Fatalf("n=%d search string mismatch", n)
+			}
+		}
+		for id := 0; id < n; id++ {
+			pl, cl := p.Library(id), cluster.Library(id, n)
+			if len(pl) != len(cl) {
+				t.Fatalf("n=%d id=%d library size mismatch", n, id)
+			}
+			for i := range pl {
+				if pl[i] != cl[i] {
+					t.Fatalf("n=%d id=%d library[%d] mismatch", n, id, i)
+				}
+			}
+			pn, cn := p.Neighbours(id), cluster.Neighbours(id, n)
+			if len(pn) != len(cn) {
+				t.Fatalf("n=%d id=%d neighbours mismatch", n, id)
+			}
+			for i := range pn {
+				if pn[i] != cn[i] {
+					t.Fatalf("n=%d id=%d neighbours[%d] mismatch", n, id, i)
+				}
+			}
+		}
+	}
+
+	fr := scenario.ClusterPlan{N: 64, Seed: 7, FreeRiderFrac: 0.5}
+	marked := 0
+	for id := 0; id < 64; id++ {
+		if fr.FreeRider(id) {
+			marked++
+			if fr.Library(id) != nil {
+				t.Fatalf("free rider %d has a library", id)
+			}
+		} else if len(fr.Library(id)) == 0 {
+			t.Fatalf("sharer %d has empty library", id)
+		}
+	}
+	if marked < 16 || marked > 48 {
+		t.Fatalf("free-rider marking at frac 0.5 marked %d/64", marked)
+	}
+
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		tp := fr.PickTopic(r, 5)
+		if tp < 0 || tp >= fr.Universe() {
+			t.Fatalf("PickTopic out of range: %d", tp)
+		}
+	}
+}

@@ -36,24 +36,45 @@ type NetSpec struct {
 	TTL int
 }
 
-// RunNet drives an engine-backed workload through the same block
-// structure as Run: each block is BlockSize queries, the per-block
-// success rate feeds the Success series and the per-block mean reach
-// fraction feeds Coverage, so network runs produce the same *Result
-// shape (and reuse the same reporting and sweep plumbing) as the
-// paper's policy runs.
-func RunNet(spec NetSpec) *Result {
+// BlockSource serves a workload block by block — the harness-side
+// surface a scenario runner (internal/scenario.Runner) or any other
+// query driver exposes. It is satisfied structurally, so scenario can
+// implement it without sim importing scenario.
+type BlockSource interface {
+	Nodes() int
+	// Block issues nQueries queries and returns their per-query stats.
+	Block(nQueries int) []peer.Stats
+}
+
+// engineSource adapts a NetEngine plus a workload RNG to BlockSource —
+// the classic uniform-workload drive RunNet has always used.
+type engineSource struct {
+	e   NetEngine
+	rng *stats.RNG
+	ttl int
+}
+
+func (s *engineSource) Nodes() int { return s.e.Nodes() }
+
+func (s *engineSource) Block(nQueries int) []peer.Stats {
+	return s.e.Workload(s.rng, nQueries, s.ttl)
+}
+
+// RunBlocks drives a block source through the same block structure as
+// Run: each block is blockSize queries, the per-block success rate
+// feeds the Success series and the per-block mean reach fraction feeds
+// Coverage, so network runs produce the same *Result shape (and reuse
+// the same reporting and sweep plumbing) as the paper's policy runs.
+func RunBlocks(name string, src BlockSource, blocks, blockSize int) *Result {
 	start := time.Now()
 	res := &Result{
-		Name:     spec.Name,
-		Coverage: stats.NewSeries(spec.Name + "/coverage"),
-		Success:  stats.NewSeries(spec.Name + "/success"),
+		Name:     name,
+		Coverage: stats.NewSeries(name + "/coverage"),
+		Success:  stats.NewSeries(name + "/success"),
 	}
-	e := spec.Engine()
-	n := float64(e.Nodes())
-	rng := stats.NewRNG(spec.Seed)
-	for b := 0; b < spec.Blocks; b++ {
-		agg := peer.Summarize(e.Workload(rng, spec.BlockSize, spec.TTL))
+	n := float64(src.Nodes())
+	for b := 0; b < blocks; b++ {
+		agg := peer.Summarize(src.Block(blockSize))
 		res.Blocks++
 		res.Trials++
 		res.Success.Add(agg.SuccessRate)
@@ -65,6 +86,13 @@ func RunNet(spec NetSpec) *Result {
 	mTrials.Add(int64(res.Trials))
 	mRunNs.Observe(res.WallNanos)
 	return res
+}
+
+// RunNet drives an engine-backed uniform workload: RunBlocks over the
+// engine's own Workload draw.
+func RunNet(spec NetSpec) *Result {
+	src := &engineSource{e: spec.Engine(), rng: stats.NewRNG(spec.Seed), ttl: spec.TTL}
+	return RunBlocks(spec.Name, src, spec.Blocks, spec.BlockSize)
 }
 
 // SweepNet runs every network spec across workers goroutines
