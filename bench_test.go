@@ -524,6 +524,51 @@ func BenchmarkShardedLearn(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchedLearn is BenchmarkShardedLearn through the batched
+// learn plane — ObsBatch accumulation into AddBatch on the flat-table
+// index, with the same per-writer stream shape and decay cadence, so
+// the ns/obs rows are comparable pair for pair. cmd/arqbench's `learn`
+// section records the committed numbers; this keeps the comparison one
+// `go test -bench` away.
+func BenchmarkBatchedLearn(b *testing.B) {
+	for _, batch := range []int{1, 64, 256} {
+		for _, writers := range []int{1, 4} {
+			batch, writers := batch, writers
+			b.Run(fmt.Sprintf("batch=%d/writers=%d", batch, writers), func(b *testing.B) {
+				idx := core.NewShardedFlatDecayIndex(2, 1)
+				per := b.N/writers + 1
+				b.ResetTimer()
+				var wg sync.WaitGroup
+				for w := 0; w < writers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						rng := stats.NewRNG(uint64(w)*77 + 13)
+						buf := core.NewObsBatch(batch)
+						for i := 0; i < per; i++ {
+							src := trace.HostID(1 + w*512 + rng.Intn(512))
+							if buf.Append(src, trace.HostID(1+rng.Intn(64))) {
+								idx.AddBatch(buf.Obs())
+								buf.Reset()
+							}
+							if i%4096 == 4095 {
+								idx.Decay(0.5, 0.25)
+							}
+						}
+						if buf.Len() > 0 {
+							idx.AddBatch(buf.Obs())
+						}
+					}(w)
+				}
+				wg.Wait()
+				obs := float64(per * writers)
+				b.ReportMetric(obs/b.Elapsed().Seconds(), "obs/sec")
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/obs, "ns/obs")
+			})
+		}
+	}
+}
+
 // BenchmarkMinerComparison compares the two frequent-itemset miners of
 // internal/assoc on the role-tagged pair corpus; they are cross-checked
 // for exact agreement in the assoc tests.

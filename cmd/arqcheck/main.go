@@ -59,6 +59,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	// CPU metadata header: timing and concurrency rows only mean what
+	// they appear to mean when the core counts match — a writers=4 spread
+	// measured on one core is interleaving, not contention — so the
+	// caveat is printed with every comparison.
+	describe := func(label string, a *report.Artifact) {
+		fmt.Printf("arqcheck: %-9s %s  GOMAXPROCS=%d NumCPU=%d  (%s)\n",
+			label, a.GoVersion, a.GOMAXPROCS, a.NumCPU, a.Tool)
+	}
+	describe("baseline:", baseline)
+	describe("candidate:", candidate)
+
 	tol := report.Tolerance{
 		Quality:   *qualityTol,
 		CountRel:  *countRel,

@@ -39,6 +39,7 @@ var (
 	engine   = flag.String("engine", "sequential", "sequential | flat (struct-of-arrays) | actor (flood/kwalk/assoc)")
 	parallel = flag.Int("parallel", 4, "concurrent workload workers on the actor engine")
 	shards   = flag.Int("shards", 0, "assoc learn-plane shards (0/1 = single-writer learner)")
+	batch    = flag.Int("batch", 0, "learn-plane batch size for assoc routers and netcluster servents (0 = per-observation learner)")
 	chaosRun = flag.Bool("chaos", false, "run the fault-injection chaos soak instead of a strategy comparison")
 )
 
@@ -133,13 +134,17 @@ func runChaos() {
 }
 
 // assocCfg is the deployment association-router config with the -shards
-// override applied. Sharding defers publication to on-change: publishing
-// on every observation would serialize the shard writers on snapshot
-// builds and defeat the parallel learn plane.
+// and -batch overrides applied. Sharding or batching defers publication
+// to on-change: publishing on every observation would serialize the
+// writers on snapshot builds and defeat the amortized learn plane.
 func assocCfg() routing.AssocConfig {
 	cfg := routing.DefaultAssocConfig()
 	if *shards > 1 {
 		cfg.Shards = *shards
+		cfg.Publish = core.PublishOnChange
+	}
+	if *batch > 0 {
+		cfg.Batch = *batch
 		cfg.Publish = core.PublishOnChange
 	}
 	return cfg

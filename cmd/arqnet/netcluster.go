@@ -41,6 +41,7 @@ func runNetCluster() {
 		Seed:          int64(*seed),
 		Dir:           *logDir,
 		FreeRiderFrac: *freeRiders,
+		LearnBatch:    *batch,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arqnet:", err)

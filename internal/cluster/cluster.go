@@ -70,6 +70,9 @@ type NodeConfig struct {
 	// FreeRiderFrac marks that fraction of nodes as sharing nothing
 	// (scenario.ClusterPlan.FreeRider); 0 is the historical cluster.
 	FreeRiderFrac float64 `json:"free_rider_frac,omitempty"`
+	// LearnBatch sets the rule server's batched learn plane
+	// (vantage.RuleConfig.Batch); 0 keeps the per-observation learner.
+	LearnBatch int `json:"learn_batch,omitempty"`
 }
 
 // plan derives the node's scenario plan; every child computes the same
@@ -123,6 +126,9 @@ type Config struct {
 	// FreeRiderFrac marks that fraction of nodes as sharing nothing
 	// (scenario.ClusterPlan.FreeRider); 0 is the historical cluster.
 	FreeRiderFrac float64
+	// LearnBatch sets each node's batched learn plane
+	// (vantage.RuleConfig.Batch); 0 keeps the per-observation learner.
+	LearnBatch int
 }
 
 // Result aggregates the cluster run for reporting.
@@ -229,6 +235,9 @@ func runNode(cfg NodeConfig) error {
 	g0 := runtime.NumGoroutine()
 	deadline := time.Now().Add(90 * time.Second)
 	rules := vantage.DefaultRuleConfig()
+	if cfg.LearnBatch > 0 {
+		rules.Batch = cfg.LearnBatch
+	}
 	s, err := vantage.Listen("127.0.0.1:0", vantage.Options{
 		Rules: &rules,
 		Net: &transport.Options{
@@ -388,6 +397,7 @@ func Run(cfg Config) (*Result, error) {
 			Warm: cfg.Warm, Queries: cfg.Queries, TTL: cfg.TTL, Seed: cfg.Seed,
 			QueryTimeoutMS: int(cfg.QueryTimeout / time.Millisecond),
 			FreeRiderFrac:  cfg.FreeRiderFrac,
+			LearnBatch:     cfg.LearnBatch,
 		}
 		raw, err := json.Marshal(&nc)
 		if err != nil {

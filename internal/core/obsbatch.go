@@ -1,0 +1,71 @@
+package core
+
+import "arq/internal/trace"
+
+// This file is the batch currency of the learn plane. Per-observation
+// locking caps intake at the cost of one mutex round-trip per observed
+// hit; an ObsBatch lets a producer accumulate observations locally and
+// hand the whole buffer to ShardedPairIndex.AddBatch, which takes each
+// shard's mutex once per batch instead of once per observation. The
+// batch is a plain append buffer — no synchronization of its own — so
+// ownership transfers are explicit: exactly one goroutine fills or
+// applies a batch at a time.
+
+// Obs is one (source, replier) learn-plane observation — the unit the
+// miner counts, detached from any engine's id space (routing.Assoc and
+// the vantage servent map their node/connection ids into HostIDs before
+// batching).
+type Obs struct {
+	Src, Rep trace.HostID
+}
+
+// MaxObsBatch is the hard cap on one ObsBatch and on the chunk size
+// AddBatch processes at a time. It bounds the stack scratch AddBatch
+// uses for shard grouping; larger batches amortize no better (the
+// per-shard mutex is already taken once per ~256 observations) and only
+// add serve-plane staleness.
+const MaxObsBatch = 256
+
+// ObsBatch is a fixed-capacity append buffer of observations. The
+// useful range is 64–256 entries: below that the per-batch locking
+// amortizes poorly, above MaxObsBatch the capacity is clamped. It is
+// not safe for concurrent use — the producer owns it while filling, the
+// applier while draining.
+type ObsBatch struct {
+	obs []Obs
+}
+
+// NewObsBatch returns an empty batch holding at most capacity
+// observations, clamped into [1, MaxObsBatch].
+func NewObsBatch(capacity int) *ObsBatch {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if capacity > MaxObsBatch {
+		capacity = MaxObsBatch
+	}
+	return &ObsBatch{obs: make([]Obs, 0, capacity)}
+}
+
+// Append adds one observation and reports whether the batch is now full
+// — the producer's cue to apply (or hand off) and Reset it.
+func (b *ObsBatch) Append(src, rep trace.HostID) (full bool) {
+	b.obs = append(b.obs, Obs{src, rep})
+	return len(b.obs) == cap(b.obs)
+}
+
+// Len returns the number of buffered observations.
+func (b *ObsBatch) Len() int { return len(b.obs) }
+
+// Cap returns the fixed capacity.
+func (b *ObsBatch) Cap() int { return cap(b.obs) }
+
+// Full reports whether Append has filled the batch.
+func (b *ObsBatch) Full() bool { return len(b.obs) == cap(b.obs) }
+
+// Obs returns the filled prefix in append order. The slice aliases the
+// batch's buffer: it is valid until the next Append or Reset.
+func (b *ObsBatch) Obs() []Obs { return b.obs }
+
+// Reset empties the batch, retaining its buffer.
+func (b *ObsBatch) Reset() { b.obs = b.obs[:0] }

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"arq/internal/stats"
+	"arq/internal/trace"
+)
+
+func TestObsBatchBasics(t *testing.T) {
+	if got := NewObsBatch(0).Cap(); got != 1 {
+		t.Fatalf("Cap clamped to %d, want 1", got)
+	}
+	if got := NewObsBatch(10 * MaxObsBatch).Cap(); got != MaxObsBatch {
+		t.Fatalf("Cap clamped to %d, want %d", got, MaxObsBatch)
+	}
+	b := NewObsBatch(3)
+	for i := 0; i < 2; i++ {
+		if b.Append(trace.HostID(i+1), trace.HostID(i+2)) {
+			t.Fatalf("batch reported full at %d/3", i+1)
+		}
+		if b.Full() {
+			t.Fatalf("Full() true at %d/3", i+1)
+		}
+	}
+	if !b.Append(7, 8) || !b.Full() || b.Len() != 3 {
+		t.Fatalf("batch not full after 3 appends: full=%v len=%d", b.Full(), b.Len())
+	}
+	obs := b.Obs()
+	want := []Obs{{1, 2}, {2, 3}, {7, 8}}
+	for i := range want {
+		if obs[i] != want[i] {
+			t.Fatalf("obs[%d] = %+v, want %+v", i, obs[i], want[i])
+		}
+	}
+	b.Reset()
+	if b.Len() != 0 || b.Full() || b.Cap() != 3 {
+		t.Fatalf("Reset left len=%d full=%v cap=%d", b.Len(), b.Full(), b.Cap())
+	}
+}
+
+// TestBatchedMatchesSequentialQuick is the batched-equivalence property
+// the tentpole rests on: the same operation stream — observations,
+// lazily announced decays, resets — driven one AddPair at a time through
+// a map-backed sharded index and through ObsBatch+AddBatch on the
+// flat-table sharded index must be indistinguishable: same pair and
+// active-rule counts, same crossings, bit-identical supports, and
+// identical forced-publish content (publish *cadence* differs by design:
+// a batch crossing the epoch budget publishes once, per ObserveN).
+// Decays and resets land at the same observation
+// ordinals on both sides (the batched side flushes its buffer first,
+// exactly as the batched learners split at cadence boundaries).
+func TestBatchedMatchesSequentialQuick(t *testing.T) {
+	f := func(seed uint64, batchRaw, shardRaw, thRaw uint8) bool {
+		batch := 1 + int(batchRaw)%MaxObsBatch
+		shards := 1 + int(shardRaw)%8
+		threshold := float64(1 + int(thRaw)%3)
+		// Same shard count on both sides: Reset bumps crossings once per
+		// non-empty shard, so Crossings is only comparable at equal sharding.
+		ref := NewShardedDecayIndex(threshold, shards)
+		refPub := NewShardedPublisher(ref, PublisherConfig{Policy: PublishEpoch, Epoch: 7})
+		bat := NewShardedFlatDecayIndex(threshold, shards)
+		batPub := NewShardedPublisher(bat, PublisherConfig{Policy: PublishEpoch, Epoch: 7})
+
+		buf := NewObsBatch(batch)
+		flush := func() {
+			if buf.Len() > 0 {
+				bat.AddBatch(buf.Obs())
+				batPub.ObserveN(buf.Len())
+				buf.Reset()
+			}
+		}
+		rng := stats.NewRNG(seed)
+		for step := 0; step < 600; step++ {
+			src := trace.HostID(1 + rng.Intn(12))
+			rep := trace.HostID(1 + rng.Intn(12))
+			switch op := rng.Intn(100); {
+			case op < 80:
+				ref.AddPair(src, rep)
+				refPub.Observe()
+				if buf.Append(src, rep) {
+					flush()
+				}
+			case op < 94:
+				flush()
+				ref.Decay(0.5, 0.25)
+				bat.Decay(0.5, 0.25)
+			default:
+				flush()
+				ref.Reset()
+				bat.Reset()
+			}
+			if step%41 == 0 {
+				flush()
+				if bat.Pairs() != ref.Pairs() || bat.ActiveRules() != ref.ActiveRules() ||
+					bat.Crossings() != ref.Crossings() {
+					t.Logf("step %d: pairs %d/%d active %d/%d crossings %d/%d", step,
+						bat.Pairs(), ref.Pairs(), bat.ActiveRules(), ref.ActiveRules(),
+						bat.Crossings(), ref.Crossings())
+					return false
+				}
+				if bat.Support(src, rep) != ref.Support(src, rep) ||
+					bat.Covers(src) != ref.Covers(src) {
+					t.Logf("step %d: support/covers diverged for (%d,%d)", step, src, rep)
+					return false
+				}
+			}
+		}
+		flush()
+		// Versions are compared separately: ObserveN publishes once per
+		// batch that crosses the epoch budget (the batch is the new
+		// observation granularity), so the batched side legitimately
+		// publishes fewer times. Forced-publish *content* must match.
+		a, b := refPub.Publish(), batPub.Publish()
+		if a.Len() != b.Len() {
+			t.Logf("published len %d vs %d", a.Len(), b.Len())
+			return false
+		}
+		identical := true
+		a.Range(func(k PairKey, sup float64) bool {
+			if got := b.Support(k.Source(), k.Replier()); got != sup {
+				t.Logf("published support(%d,%d) %v vs %v", k.Source(), k.Replier(), sup, got)
+				identical = false
+			}
+			return identical
+		})
+		return identical
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlatDecayIndexMatchesMapAcrossFactors pins the flat table's two
+// decay regimes against the map-backed reference at the PairIndex level:
+// power-of-two factors run the scheduled path (closed-form deaths, lazy
+// exponent rebase), everything else the eager sweep, and switching
+// factors mid-stream forces the flush/rebind transitions between them.
+// Counts, crossings, and eviction timing must stay bit-identical through
+// all of it.
+func TestFlatDecayIndexMatchesMapAcrossFactors(t *testing.T) {
+	factors := [][2]float64{{0.5, 0.25}, {0.25, 0.125}, {0.7, 0.2}, {0.9, 0.01}}
+	f := func(seed uint64, thRaw uint8) bool {
+		threshold := float64(1 + int(thRaw)%3)
+		ref := NewDecayIndex(threshold)
+		flat := NewFlatDecayIndex(threshold)
+		rng := stats.NewRNG(seed)
+		fi := int(seed % uint64(len(factors)))
+		for step := 0; step < 800; step++ {
+			src := trace.HostID(1 + rng.Intn(10))
+			rep := trace.HostID(1 + rng.Intn(10))
+			switch op := rng.Intn(100); {
+			case op < 60:
+				ref.AddPair(src, rep)
+				flat.AddPair(src, rep)
+			case op < 70:
+				w := float64(rng.Intn(7)) - 2.5 // negative adds delete at zero
+				ref.Add(src, rep, w)
+				flat.Add(src, rep, w)
+			case op < 78:
+				v := float64(rng.Intn(6)) - 1 // v <= 0 deletes
+				ref.Set(src, rep, v)
+				flat.Set(src, rep, v)
+			case op < 94:
+				if rng.Intn(10) == 0 {
+					fi = (fi + 1) % len(factors) // force a schedule rebind
+				}
+				ref.Decay(factors[fi][0], factors[fi][1])
+				flat.Decay(factors[fi][0], factors[fi][1])
+			default:
+				ref.Reset()
+				flat.Reset()
+			}
+			if flat.Pairs() != ref.Pairs() || flat.ActiveRules() != ref.ActiveRules() ||
+				flat.Crossings() != ref.Crossings() {
+				t.Logf("step %d (factor %v): pairs %d/%d active %d/%d crossings %d/%d", step,
+					factors[fi], flat.Pairs(), ref.Pairs(), flat.ActiveRules(), ref.ActiveRules(),
+					flat.Crossings(), ref.Crossings())
+				return false
+			}
+			if flat.Support(src, rep) != ref.Support(src, rep) {
+				t.Logf("step %d: support(%d,%d) %v vs %v", step, src, rep,
+					flat.Support(src, rep), ref.Support(src, rep))
+				return false
+			}
+		}
+		// Full-table comparison: every pair, bit-identical counts.
+		ok := true
+		n := 0
+		ref.Range(func(k PairKey, v float64) bool {
+			n++
+			if got := flat.Support(k.Source(), k.Replier()); got != v {
+				t.Logf("final support(%d,%d) %v vs %v", k.Source(), k.Replier(), got, v)
+				ok = false
+			}
+			return ok
+		})
+		return ok && n == flat.Pairs()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

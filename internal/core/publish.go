@@ -253,8 +253,20 @@ func (p *Publisher) Stale(maxLag int64, maxAge time.Duration) bool {
 // if the policy calls for it. Callable from any shard writer: the
 // trigger check is atomic reads only, so observations that do not
 // publish never serialize here.
-func (p *Publisher) Observe() {
-	n := p.obsSince.Add(1)
+func (p *Publisher) Observe() { p.ObserveN(1) }
+
+// ObserveN records that the index absorbed n observations at once — the
+// batched learn plane's trigger: one policy check per applied batch
+// instead of one per observation. PublishSync over a batch publishes
+// once after the batch lands (the batch is the new observation
+// granularity); PublishOnChange and PublishEpoch behave as if the batch
+// were one large observation, so a batch that crosses the epoch budget
+// or moves Crossings triggers a single publish. n <= 0 is a no-op.
+func (p *Publisher) ObserveN(n int) {
+	if n <= 0 {
+		return
+	}
+	total := p.obsSince.Add(int64(n))
 	switch p.cfg.Policy {
 	case PublishSync:
 		p.Publish()
@@ -265,12 +277,12 @@ func (p *Publisher) Observe() {
 			return
 		}
 	case PublishEpoch:
-		if n >= int64(p.cfg.Epoch) {
+		if total >= int64(p.cfg.Epoch) {
 			p.Publish()
 			return
 		}
 	}
-	gPublishLag.Set(n)
+	gPublishLag.Set(total)
 }
 
 // Publish materializes the index's current rules as a new immutable

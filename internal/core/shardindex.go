@@ -18,30 +18,101 @@ import (
 // Coordination points:
 //
 //   - Per-observation ops (AddPair/Add/Set/Support/Covers/Matches) take
-//     the epoch lock shared plus one shard mutex — independent
-//     antecedents proceed concurrently.
-//   - Decay and Reset are epoch barriers: they take the epoch lock
-//     exclusively, so every in-flight observation drains and none starts
-//     until all shards have aged. This keeps a merged snapshot from
-//     mixing pre- and post-decay shards.
+//     one shard mutex — independent antecedents proceed concurrently.
+//     AddBatch takes each touched shard's mutex once per batch, so a
+//     batched producer pays one lock round-trip per ~hundreds of
+//     observations instead of one per observation.
+//   - Decay and Reset are lazy epoch announcements, not barriers: they
+//     append an aging step to an immutable copy-on-write schedule and
+//     return without touching any shard. Each shard records the
+//     generation it has applied and catches up — replaying the pending
+//     steps in announcement order — under its own mutex the next time
+//     anything reads or writes it. Announcing is O(1); the aging work
+//     lands off the hot path, amortized into the next batch
+//     application (or read) per shard.
 //   - Crossings is served from per-shard atomic mirrors (each updated
 //     under its shard mutex), so a PublishOnChange publisher can poll it
 //     on every observation without touching any lock. Each mirror is
-//     monotone, hence so is the sum.
+//     monotone, hence so is the sum. A pending (announced, unapplied)
+//     aging step moves Crossings only when a shard applies it — the
+//     publisher reacts when the work actually lands, which is the
+//     freshest state any reader can observe anyway.
+//
+// Because every read path catches the shard up before answering, a
+// sequential caller cannot distinguish lazy from eager aging: the same
+// operation sequence yields bit-identical counts, crossings, and
+// snapshots (pinned by the quick properties in shardindex_test.go and
+// obsbatch_test.go). Under concurrency, an aging step announced while a
+// merge iterates may land in shards the merge has not reached yet and
+// miss ones it has — the same shard-by-shard freshness skew aggregate
+// reads always had for observations, never a correctness issue for
+// decayed supports.
+
+// decayStep is one announced whole-table aging step, run-length encoded:
+// consecutive announcements with identical parameters coalesce into one
+// step whose upto advances. upto is the cumulative generation after the
+// last repetition of this step.
+type decayStep struct {
+	factor, floor float64
+	reset         bool
+	upto          uint64
+}
+
+// decaySched is an immutable snapshot of every aging step announced so
+// far; gen equals the upto of the last step. Announcers build a fresh
+// schedule and swap the pointer, so shards catch up from a consistent
+// view without taking the announce lock. The steps slice grows only
+// when aging parameters change between announcements (one deployment
+// uses one (factor, floor) forever, so in practice it stays at a
+// handful of entries; alternating Decay/Reset streams grow it one step
+// per alternation).
+type decaySched struct {
+	gen   uint64
+	steps []decayStep
+}
+
+var emptySched = &decaySched{}
 
 // indexShard is one single-writer slice of the pair table: a mutex, the
-// wrapped unexported PairIndex, and a lock-free mirror of its monotone
-// crossings counter.
+// wrapped unexported PairIndex, the aging generation it has applied,
+// and a lock-free mirror of its monotone crossings counter.
 type indexShard struct {
 	mu        sync.Mutex
+	gen       uint64 // aging generations applied, guarded by mu
 	idx       *PairIndex
 	crossings atomic.Uint64
 }
 
-// update runs f on the shard's index under its mutex and refreshes the
-// crossings mirror.
-func (sh *indexShard) update(f func(x *PairIndex)) {
+// catchUp replays the aging steps announced since this shard last aged,
+// in announcement order. Caller holds sh.mu. Replay is literal — k
+// coalesced decays run Decay k times — so the per-pair count and
+// crossing histories are exactly what an eager barrier would have
+// produced; only the timing moved.
+func (sh *indexShard) catchUp(sched *decaySched) {
+	if sh.gen == sched.gen {
+		return
+	}
+	for i := range sched.steps {
+		st := &sched.steps[i]
+		if st.upto <= sh.gen {
+			continue
+		}
+		for ; sh.gen < st.upto; sh.gen++ {
+			if st.reset {
+				sh.idx.Reset()
+			} else {
+				sh.idx.Decay(st.factor, st.floor)
+			}
+		}
+	}
+	sh.crossings.Store(sh.idx.Crossings())
+}
+
+// update runs f on the shard's index under its mutex — catching up any
+// pending aging first — and refreshes the crossings mirror.
+func (sh *indexShard) update(sched *decaySched, f func(x *PairIndex)) {
 	sh.mu.Lock()
+	sh.catchUp(sched)
 	f(sh.idx)
 	sh.crossings.Store(sh.idx.Crossings())
 	sh.mu.Unlock()
@@ -55,17 +126,33 @@ func (sh *indexShard) update(f func(x *PairIndex)) {
 // across shards while writers are running — single-antecedent rules make
 // that a freshness question, never a correctness one.
 type ShardedPairIndex struct {
-	// epoch is held shared by every per-shard operation and exclusively
-	// by Decay/Reset, fencing all shards across aging boundaries.
-	epoch     sync.RWMutex
 	shards    []*indexShard
 	threshold float64
+
+	// announce serializes Decay/Reset announcements; sched is the
+	// copy-on-write aging schedule shards catch up against.
+	announce sync.Mutex
+	sched    atomic.Pointer[decaySched]
 }
 
 // NewShardedDecayIndex returns a decay-mode engine split into shards
 // single-writer shards. threshold must be positive; shards < 1 is
 // treated as 1 (one shard degenerates to a mutex around one PairIndex).
 func NewShardedDecayIndex(threshold float64, shards int) *ShardedPairIndex {
+	return newShardedDecayIndex(threshold, shards, NewDecayIndex)
+}
+
+// NewShardedFlatDecayIndex is NewShardedDecayIndex with each shard
+// backed by the open-addressing flat count table (NewFlatDecayIndex) —
+// the batched learn plane's configuration, where the per-batch lock
+// amortization exposes the per-observation table cost as the next
+// bottleneck. Bit-identical to the map-backed flavor for any operation
+// sequence.
+func NewShardedFlatDecayIndex(threshold float64, shards int) *ShardedPairIndex {
+	return newShardedDecayIndex(threshold, shards, NewFlatDecayIndex)
+}
+
+func newShardedDecayIndex(threshold float64, shards int, mk func(float64) *PairIndex) *ShardedPairIndex {
 	if shards < 1 {
 		shards = 1
 	}
@@ -73,8 +160,9 @@ func NewShardedDecayIndex(threshold float64, shards int) *ShardedPairIndex {
 		shards:    make([]*indexShard, shards),
 		threshold: threshold,
 	}
+	s.sched.Store(emptySched)
 	for i := range s.shards {
-		s.shards[i] = &indexShard{idx: NewDecayIndex(threshold)}
+		s.shards[i] = &indexShard{idx: mk(threshold)}
 	}
 	return s
 }
@@ -82,118 +170,197 @@ func NewShardedDecayIndex(threshold float64, shards int) *ShardedPairIndex {
 // Shards returns the shard count fixed at construction.
 func (s *ShardedPairIndex) Shards() int { return len(s.shards) }
 
-// shardFor hashes the antecedent to its shard. The multiplicative mix
-// spreads the consecutive HostIDs the simulators assign; the paper's
+// shardIdx hashes the antecedent to its shard index. The multiplicative
+// mix spreads the consecutive HostIDs the simulators assign; the paper's
 // single-antecedent rules guarantee every rule for src lives wholly in
 // this one shard.
-func (s *ShardedPairIndex) shardFor(src trace.HostID) *indexShard {
+func (s *ShardedPairIndex) shardIdx(src trace.HostID) uint32 {
 	h := uint32(src) * 0x9e3779b1
-	return s.shards[h%uint32(len(s.shards))]
+	return h % uint32(len(s.shards))
+}
+
+func (s *ShardedPairIndex) shardFor(src trace.HostID) *indexShard {
+	return s.shards[s.shardIdx(src)]
 }
 
 // AddPair records one (source, replier) observation. Observations with
 // different antecedent shards proceed concurrently.
 func (s *ShardedPairIndex) AddPair(src, rep trace.HostID) {
-	s.epoch.RLock()
-	s.shardFor(src).update(func(x *PairIndex) { x.AddPair(src, rep) })
-	s.epoch.RUnlock()
+	s.shardFor(src).update(s.sched.Load(), func(x *PairIndex) { x.AddPair(src, rep) })
 }
 
 // Add adjusts the pair's count by w.
 func (s *ShardedPairIndex) Add(src, rep trace.HostID, w float64) {
-	s.epoch.RLock()
-	s.shardFor(src).update(func(x *PairIndex) { x.Add(src, rep, w) })
-	s.epoch.RUnlock()
+	s.shardFor(src).update(s.sched.Load(), func(x *PairIndex) { x.Add(src, rep, w) })
 }
 
 // Set overwrites the pair's count exactly.
 func (s *ShardedPairIndex) Set(src, rep trace.HostID, v float64) {
-	s.epoch.RLock()
-	s.shardFor(src).update(func(x *PairIndex) { x.Set(src, rep, v) })
-	s.epoch.RUnlock()
+	s.shardFor(src).update(s.sched.Load(), func(x *PairIndex) { x.Set(src, rep, v) })
+}
+
+// AddBatch folds a whole batch of observations into the table, taking
+// each touched shard's mutex once per (up to MaxObsBatch-sized) chunk
+// instead of once per observation. Observations that share a shard are
+// applied in batch order, and shards are disjoint by construction, so a
+// sequential AddBatch is bit-identical to the same observations fed one
+// AddPair at a time. Batches longer than MaxObsBatch are processed in
+// MaxObsBatch chunks.
+func (s *ShardedPairIndex) AddBatch(obs []Obs) {
+	for len(obs) > MaxObsBatch {
+		s.addChunk(obs[:MaxObsBatch])
+		obs = obs[MaxObsBatch:]
+	}
+	if len(obs) > 0 {
+		s.addChunk(obs)
+	}
+}
+
+// addChunk applies one chunk of at most MaxObsBatch observations. The
+// shard of each observation is computed once into stack scratch; each
+// touched shard is then locked once and fed its observations in order.
+func (s *ShardedPairIndex) addChunk(obs []Obs) {
+	sched := s.sched.Load()
+	if len(s.shards) == 1 {
+		sh := s.shards[0]
+		sh.mu.Lock()
+		sh.catchUp(sched)
+		for i := range obs {
+			sh.idx.AddPair(obs[i].Src, obs[i].Rep)
+		}
+		sh.crossings.Store(sh.idx.Crossings())
+		sh.mu.Unlock()
+		return
+	}
+	var shard [MaxObsBatch]uint32
+	var touched uint64 // bitmap of touched shards when len(shards) <= 64
+	small := len(s.shards) <= 64
+	for i := range obs {
+		si := s.shardIdx(obs[i].Src)
+		shard[i] = si
+		if small {
+			touched |= 1 << si
+		}
+	}
+	for si := range s.shards {
+		if small && touched&(1<<uint(si)) == 0 {
+			continue
+		}
+		sh := s.shards[si]
+		locked := false
+		for i := range obs {
+			if shard[i] != uint32(si) {
+				continue
+			}
+			if !locked {
+				sh.mu.Lock()
+				sh.catchUp(sched)
+				locked = true
+			}
+			sh.idx.AddPair(obs[i].Src, obs[i].Rep)
+		}
+		if locked {
+			sh.crossings.Store(sh.idx.Crossings())
+			sh.mu.Unlock()
+		}
+	}
+}
+
+// read runs f on the owning shard under its mutex, catching up pending
+// aging first so reads always observe fully aged state.
+func (s *ShardedPairIndex) read(src trace.HostID, f func(x *PairIndex)) {
+	sh := s.shardFor(src)
+	sh.mu.Lock()
+	sh.catchUp(s.sched.Load())
+	f(sh.idx)
+	sh.mu.Unlock()
 }
 
 // Support returns the pair's current count (0 when untracked).
 func (s *ShardedPairIndex) Support(src, rep trace.HostID) float64 {
-	s.epoch.RLock()
-	sh := s.shardFor(src)
-	sh.mu.Lock()
-	v := sh.idx.Support(src, rep)
-	sh.mu.Unlock()
-	s.epoch.RUnlock()
+	var v float64
+	s.read(src, func(x *PairIndex) { v = x.Support(src, rep) })
 	return v
 }
 
 // Covers reports whether some consequent for src is at or above the
 // activation threshold.
 func (s *ShardedPairIndex) Covers(src trace.HostID) bool {
-	s.epoch.RLock()
-	sh := s.shardFor(src)
-	sh.mu.Lock()
-	ok := sh.idx.Covers(src)
-	sh.mu.Unlock()
-	s.epoch.RUnlock()
+	var ok bool
+	s.read(src, func(x *PairIndex) { ok = x.Covers(src) })
 	return ok
 }
 
 // Matches reports whether the pair's count is at or above the activation
 // threshold.
 func (s *ShardedPairIndex) Matches(src, rep trace.HostID) bool {
-	s.epoch.RLock()
-	sh := s.shardFor(src)
-	sh.mu.Lock()
-	ok := sh.idx.Matches(src, rep)
-	sh.mu.Unlock()
-	s.epoch.RUnlock()
+	var ok bool
+	s.read(src, func(x *PairIndex) { ok = x.Matches(src, rep) })
 	return ok
 }
 
-// Decay multiplies every count by factor and drops entries below floor.
-// It is an epoch barrier: the exclusive epoch lock drains all in-flight
-// observations, ages every shard, and only then readmits writers, so no
-// observation and no merged snapshot ever straddles the boundary.
+// Decay multiplies every count by factor and drops entries below floor —
+// logically. Physically it only announces the aging step: the schedule
+// gains one generation and every shard applies it lazily at its next
+// touch, so Decay is O(1) regardless of table size and never stalls
+// concurrent observers. Reads through this index are indistinguishable
+// from an eager decay because every read path catches up first.
 func (s *ShardedPairIndex) Decay(factor, floor float64) {
-	s.epoch.Lock()
-	for _, sh := range s.shards {
-		sh.update(func(x *PairIndex) { x.Decay(factor, floor) })
-	}
-	s.epoch.Unlock()
+	s.announceStep(decayStep{factor: factor, floor: floor})
 }
 
-// Reset drops all counts in every shard (retaining map capacity). Like
-// Decay it is an epoch barrier.
+// Reset drops all counts in every shard — announced lazily exactly like
+// Decay.
 func (s *ShardedPairIndex) Reset() {
-	s.epoch.Lock()
-	for _, sh := range s.shards {
-		sh.update(func(x *PairIndex) { x.Reset() })
+	s.announceStep(decayStep{reset: true})
+}
+
+// announceStep appends one aging step to the copy-on-write schedule,
+// coalescing with the previous step when the parameters repeat (the
+// common case: a deployment decays with one (factor, floor) forever).
+func (s *ShardedPairIndex) announceStep(st decayStep) {
+	s.announce.Lock()
+	cur := s.sched.Load()
+	var steps []decayStep
+	if n := len(cur.steps); n > 0 && cur.steps[n-1].reset == st.reset &&
+		(st.reset || (cur.steps[n-1].factor == st.factor && cur.steps[n-1].floor == st.floor)) {
+		steps = make([]decayStep, n)
+		copy(steps, cur.steps)
+		steps[n-1].upto++
+	} else {
+		steps = make([]decayStep, len(cur.steps), len(cur.steps)+1)
+		copy(steps, cur.steps)
+		st.upto = cur.gen + 1
+		steps = append(steps, st)
 	}
-	s.epoch.Unlock()
+	s.sched.Store(&decaySched{gen: cur.gen + 1, steps: steps})
+	s.announce.Unlock()
 }
 
 // Pairs returns the number of tracked pairs summed across shards.
 func (s *ShardedPairIndex) Pairs() int {
-	s.epoch.RLock()
+	sched := s.sched.Load()
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		sh.catchUp(sched)
 		n += sh.idx.Pairs()
 		sh.mu.Unlock()
 	}
-	s.epoch.RUnlock()
 	return n
 }
 
 // ActiveRules returns the number of pairs at or above the activation
 // threshold summed across shards.
 func (s *ShardedPairIndex) ActiveRules() int {
-	s.epoch.RLock()
+	sched := s.sched.Load()
 	n := 0
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		sh.catchUp(sched)
 		n += sh.idx.ActiveRules()
 		sh.mu.Unlock()
 	}
-	s.epoch.RUnlock()
 	return n
 }
 
@@ -202,6 +369,8 @@ func (s *ShardedPairIndex) ActiveRules() int {
 // grows, so the sum is monotone and two equal readings bracket a span in
 // which no shard's active-rule set changed — exactly the contract
 // PublishOnChange needs, at the cost of one atomic load per shard.
+// Crossings caused by an announced-but-unapplied aging step surface when
+// a shard next catches up.
 func (s *ShardedPairIndex) Crossings() uint64 {
 	var n uint64
 	for _, sh := range s.shards {
@@ -211,15 +380,16 @@ func (s *ShardedPairIndex) Crossings() uint64 {
 }
 
 // Range calls f for every tracked pair until f returns false, visiting
-// shards one at a time under their mutexes. Iteration order is
-// unspecified; f must not call back into the index (the shard lock is
-// held) and sees each shard atomically but the whole table only
-// shard-by-shard.
+// shards one at a time under their mutexes and catching up pending aging
+// per shard, so each shard's rules are fully aged when visited.
+// Iteration order is unspecified; f must not call back into the index
+// (the shard lock is held) and sees each shard atomically but the whole
+// table only shard-by-shard.
 func (s *ShardedPairIndex) Range(f func(k PairKey, count float64) bool) {
-	s.epoch.RLock()
-	defer s.epoch.RUnlock()
+	sched := s.sched.Load()
 	for _, sh := range s.shards {
 		sh.mu.Lock()
+		sh.catchUp(sched)
 		stop := false
 		sh.idx.Range(func(k PairKey, v float64) bool {
 			if !f(k, v) {

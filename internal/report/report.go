@@ -5,7 +5,9 @@
 // rule-set quality drifts or throughput regresses beyond tolerance.
 //
 // An Artifact is a versioned tree: run metadata (seed, trials, Go
-// version, GOMAXPROCS), named sections of named rows of scalar metrics
+// version, GOMAXPROCS, NumCPU — the CPU metadata makes single-core-
+// runner caveats on concurrency claims machine-visible in every
+// committed benchmark), named sections of named rows of scalar metrics
 // (mirroring the tables arqbench prints), and a snapshot of the obsv
 // instrument registry. Metric keys follow a naming convention the
 // comparator keys off:
@@ -15,6 +17,9 @@
 //   - keys with an "_ns" suffix or "ns_" prefix — wall-clock throughput,
 //     where only a slowdown beyond a generous ratio fails (timings vary
 //     across machines; determinism only holds for the quality measures);
+//   - keys with a "_per_sec" suffix — rates, the inverse of the above:
+//     only a collapse below baseline divided by the same ratio fails
+//     (higher is better, so a speedup always passes);
 //   - keys with a "_bytes" suffix — memory footprints, where only growth
 //     beyond a ratio fails (allocator and GC timing make absolute heap
 //     sizes noisy; shrinking is always fine);
@@ -43,6 +48,7 @@ type Artifact struct {
 	Tool       string        `json:"tool"`
 	GoVersion  string        `json:"go_version"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
+	NumCPU     int           `json:"num_cpu,omitempty"`
 	Seed       uint64        `json:"seed"`
 	Trials     int           `json:"trials"`
 	Quick      bool          `json:"quick"`
@@ -174,6 +180,12 @@ func isPerfKey(k string) bool {
 	return strings.HasSuffix(k, "_ns") || strings.HasPrefix(k, "ns_")
 }
 
+// isRateKey matches throughput expressed as a rate ("obs_per_sec"),
+// where higher is better — the mirror image of the ns-per-op perf keys.
+func isRateKey(k string) bool {
+	return strings.HasSuffix(k, "_per_sec")
+}
+
 func isMemKey(k string) bool {
 	return strings.HasSuffix(k, "_bytes")
 }
@@ -209,7 +221,7 @@ func Compare(baseline, candidate *Artifact, tol Tolerance) []string {
 				cv, ok := cr.Metrics[k]
 				where := fmt.Sprintf("%s/%s/%s", bs.Name, br.Name, k)
 				if !ok {
-					if isPerfKey(k) || isMemKey(k) {
+					if isPerfKey(k) || isRateKey(k) || isMemKey(k) {
 						continue // a run may legitimately omit timings/footprints
 					}
 					violations = append(violations,
@@ -226,6 +238,11 @@ func Compare(baseline, candidate *Artifact, tol Tolerance) []string {
 					if tol.PerfRatio > 0 && bv > 0 && cv > bv*tol.PerfRatio {
 						violations = append(violations,
 							fmt.Sprintf("%s: %.0f -> %.0f (slowdown %.1fx > %.1fx)", where, bv, cv, cv/bv, tol.PerfRatio))
+					}
+				case isRateKey(k):
+					if tol.PerfRatio > 0 && bv > 0 && cv < bv/tol.PerfRatio {
+						violations = append(violations,
+							fmt.Sprintf("%s: %.0f -> %.0f (rate collapse %.1fx > %.1fx)", where, bv, cv, bv/cv, tol.PerfRatio))
 					}
 				case isMemKey(k):
 					if tol.MemRatio > 0 && bv > 0 && cv > bv*tol.MemRatio {

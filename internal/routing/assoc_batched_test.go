@@ -1,0 +1,162 @@
+package routing
+
+import (
+	"testing"
+
+	"arq/internal/core"
+	"arq/internal/peer"
+	"arq/internal/stats"
+)
+
+// TestAssocBatchedMatchesSequential drives a batched association router
+// at Batch=1 — every observation flushes immediately, so no staleness is
+// in play — through the same sequential stream as the unbatched
+// reference, and requires identical behaviour at every step: the batched
+// learn plane (ObsBatch + AddBatch into the flat-table index) is a
+// drop-in for per-observation application, including decay cadence,
+// adoption epsilons, and published rule order.
+func TestAssocBatchedMatchesSequential(t *testing.T) {
+	cfg := AssocConfig{TopK: 2, Threshold: 2, Decay: 0.5, DecayEvery: 16}
+	ref := NewAssoc(cfg)
+	cfg.Batch = 1
+	cfg.Shards = 1
+	bat := NewAssoc(cfg)
+
+	const nodes = 20
+	nbrs := make([]int32, nodes)
+	for i := range nbrs {
+		nbrs[i] = int32(i)
+	}
+	rng := stats.NewRNG(99)
+	for step := 0; step < 8000; step++ {
+		u := rng.Intn(nodes)
+		from := rng.Intn(nodes+1) - 1 // NoUpstream through nodes-1
+		switch op := rng.Intn(100); {
+		case op < 70:
+			via := rng.Intn(nodes)
+			ref.ObserveHit(u, from, peer.Meta{}, via)
+			bat.ObserveHit(u, from, peer.Meta{}, via)
+		case op < 74:
+			v, w := int32(rng.Intn(nodes)), int32(rng.Intn(nodes))
+			ref.AdoptShortcut(v, w)
+			bat.AdoptShortcut(v, w)
+		default:
+			a := ref.Route(u, from, peer.Meta{}, nbrs)
+			b := bat.Route(u, from, peer.Meta{}, nbrs)
+			if len(a) != len(b) {
+				t.Fatalf("step %d: Route(%d,%d) %v vs %v", step, u, from, a, b)
+			}
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("step %d: Route(%d,%d) %v vs %v", step, u, from, a, b)
+				}
+			}
+		}
+		if step%97 == 0 {
+			if ref.RuleCount() != bat.RuleCount() {
+				t.Fatalf("step %d: rule counts %d vs %d", step, ref.RuleCount(), bat.RuleCount())
+			}
+			ca, cb := ref.Consequents(from), bat.Consequents(from)
+			if len(ca) != len(cb) {
+				t.Fatalf("step %d: Consequents(%d) %v vs %v", step, from, ca, cb)
+			}
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("step %d: Consequents(%d) %v vs %v", step, from, ca, cb)
+				}
+			}
+		}
+	}
+}
+
+// TestAssocBatchedFinalStateMatches is the deferred-equivalence half of
+// the batching contract: at Batch=64 up to 63 observations sit buffered
+// between flushes, so mid-stream reads legitimately lag — but after
+// FlushObs and a forced publish, the learn-plane state and published
+// rules must be identical to unbatched application of the same stream
+// (AssocConfig.Batch's documented guarantee), across shard counts.
+func TestAssocBatchedFinalStateMatches(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		cfg := AssocConfig{TopK: 3, Threshold: 2, Decay: 0.5, DecayEvery: 16}
+		ref := NewAssoc(cfg)
+		cfg.Batch = 64
+		cfg.Shards = shards
+		bat := NewAssoc(cfg)
+
+		const nodes = 24
+		rng := stats.NewRNG(7)
+		for step := 0; step < 6000; step++ {
+			u := rng.Intn(nodes)
+			from := rng.Intn(nodes)
+			via := rng.Intn(nodes)
+			ref.ObserveHit(u, from, peer.Meta{}, via)
+			bat.ObserveHit(u, from, peer.Meta{}, via)
+			if rng.Intn(200) == 0 {
+				v, w := int32(rng.Intn(nodes)), int32(rng.Intn(nodes))
+				// AdoptShortcut flushes the buffer first, so both sides
+				// apply it at the same observation ordinal.
+				ref.AdoptShortcut(v, w)
+				bat.AdoptShortcut(v, w)
+			}
+		}
+		bat.FlushObs()
+		ref.pub.Publish()
+		bat.pub.Publish()
+		if ref.RuleCount() != bat.RuleCount() {
+			t.Fatalf("shards=%d: rule counts %d vs %d", shards, ref.RuleCount(), bat.RuleCount())
+		}
+		for from := -1; from < nodes; from++ {
+			ca, cb := ref.Consequents(from), bat.Consequents(from)
+			if len(ca) != len(cb) {
+				t.Fatalf("shards=%d: Consequents(%d) %v vs %v", shards, from, ca, cb)
+			}
+			for i := range ca {
+				if ca[i] != cb[i] {
+					t.Fatalf("shards=%d: Consequents(%d) %v vs %v", shards, from, ca, cb)
+				}
+			}
+		}
+	}
+}
+
+// TestAssocBatchedActorNetParallelWorkload runs batched association
+// routers on the concurrent actor network under a parallel workload —
+// under -race this exercises the producer mutex over the shared
+// ObsBatch, concurrent AddBatch into flat-table shards, and batched
+// publisher triggering end to end.
+func TestAssocBatchedActorNetParallelWorkload(t *testing.T) {
+	g, m := netFixture(33, 300)
+	cfg := DefaultAssocConfig()
+	cfg.Publish = core.PublishEpoch
+	cfg.Batch = 64
+	cfg.Shards = 4
+	routers := make([]*Assoc, g.N())
+	a := peer.NewActorNet(g, m, func(u int) peer.Router {
+		routers[u] = NewAssoc(cfg)
+		return routers[u]
+	})
+	defer a.Close()
+
+	res := a.Workload(stats.NewRNG(5), 400, 6, 8)
+	if len(res) != 400 {
+		t.Fatalf("workload returned %d stats", len(res))
+	}
+	found, rules := 0, 0
+	for _, st := range res {
+		if st.Found {
+			found++
+		}
+	}
+	for _, r := range routers {
+		// Flush buffered observations and force a final publish so the
+		// deferred policy surfaces everything learned in the workload.
+		r.PublishNow()
+		rules += r.RuleCount()
+	}
+	if found == 0 {
+		t.Fatal("no query succeeded")
+	}
+	if rules == 0 {
+		t.Fatal("no batched router learned a rule from the workload")
+	}
+}

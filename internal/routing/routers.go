@@ -165,6 +165,20 @@ type AssocConfig struct {
 	// only partitions the table; per-pair count histories are unchanged),
 	// so Shards trades nothing but memory for write parallelism.
 	Shards int
+	// Batch, when positive, switches the learn plane to amortized batch
+	// application: observed hits accumulate in a core.ObsBatch and fold
+	// into the index Batch at a time (one shard-lock round-trip per
+	// batch instead of per observation), with decay still announced at
+	// exactly the same observation ordinals — a batch spanning a
+	// DecayEvery boundary is split there, so the decay cadence is
+	// bit-identical to the per-observation plane. Values above
+	// core.MaxObsBatch are clamped. The zero value keeps the
+	// per-observation write plane — the exact pre-batching code path,
+	// pinned by the 8000-step reference test. Batching trades serve-plane
+	// freshness (up to Batch-1 observations sit unapplied until the next
+	// flush; see Assoc.FlushObs) for learn throughput; final state after
+	// a flush is identical to unbatched application of the same stream.
+	Batch int
 	// StaleObs, when positive, bounds how far the served snapshot may
 	// lag the learn plane: once that many observations have been
 	// absorbed since the last publish, Route stops trusting the decayed
@@ -209,11 +223,15 @@ type Assoc struct {
 }
 
 // assocWritePlane is the learner behind an Assoc: the unsharded
-// mutex-guarded assocLearner (Shards <= 1, the pinned reference path) or
-// the shardedAssocLearner built on core.ShardedPairIndex.
+// mutex-guarded assocLearner (Shards <= 1, the pinned reference path),
+// the shardedAssocLearner built on core.ShardedPairIndex, or the
+// batchedAssocLearner that amortizes shard locking over whole batches.
+// flush forces any buffered observations into the index — a no-op for
+// the per-observation learners, which never buffer.
 type assocWritePlane interface {
 	observeHit(ante, via trace.HostID)
 	adoptShortcut(hv, hw trace.HostID)
+	flush()
 }
 
 // assocLearner is the single-writer plane of the association router: it
@@ -255,6 +273,10 @@ func (l *assocLearner) adoptShortcut(hv, hw trace.HostID) {
 	l.pub.Publish()
 }
 
+// flush implements assocWritePlane: the per-observation learner never
+// buffers.
+func (l *assocLearner) flush() {}
+
 // shardedAssocLearner is the parallel write plane: observations land in
 // the shard owning their antecedent, so hits relayed for independent
 // upstream neighbors never contend. The decay cadence is driven by one
@@ -286,6 +308,82 @@ func (l *shardedAssocLearner) adoptShortcut(hv, hw trace.HostID) {
 		}
 	}
 	l.pub.Publish()
+}
+
+// flush implements assocWritePlane: the sharded per-observation learner
+// never buffers.
+func (l *shardedAssocLearner) flush() {}
+
+// batchedAssocLearner is the amortized write plane (AssocConfig.Batch):
+// observations accumulate in an ObsBatch under a producer mutex and fold
+// into the sharded index one batch at a time via AddBatch — each touched
+// shard's lock taken once per batch. Decay cadence is preserved exactly:
+// a flush splits the batch at every DecayEvery boundary and announces
+// the (lazy) decay at that boundary, so the observation ordinals at
+// which decay fires are bit-identical to the per-observation learners'.
+// The publisher sees ObserveN(segment) — at most one policy check per
+// segment, the batched granularity of staleness.
+type batchedAssocLearner struct {
+	mu   sync.Mutex
+	cfg  AssocConfig
+	idx  *core.ShardedPairIndex
+	pub  *core.Publisher
+	buf  *core.ObsBatch
+	seen int64 // observations applied (not merely buffered), guarded by mu
+}
+
+func (l *batchedAssocLearner) observeHit(ante, via trace.HostID) {
+	l.mu.Lock()
+	if l.buf.Append(ante, via) {
+		l.flushLocked()
+	}
+	l.mu.Unlock()
+}
+
+// flushLocked applies the buffered observations, segmenting at decay
+// boundaries. Caller holds l.mu.
+func (l *batchedAssocLearner) flushLocked() {
+	obs := l.buf.Obs()
+	for len(obs) > 0 {
+		// Observations left before the next DecayEvery boundary.
+		seg := l.cfg.DecayEvery - int(l.seen%int64(l.cfg.DecayEvery))
+		if seg > len(obs) {
+			seg = len(obs)
+		}
+		l.idx.AddBatch(obs[:seg])
+		l.seen += int64(seg)
+		if l.seen%int64(l.cfg.DecayEvery) == 0 {
+			l.idx.Decay(l.cfg.Decay, l.cfg.Floor)
+		}
+		l.pub.ObserveN(seg)
+		obs = obs[seg:]
+	}
+	l.buf.Reset()
+}
+
+func (l *batchedAssocLearner) flush() {
+	l.mu.Lock()
+	if l.buf.Len() > 0 {
+		l.flushLocked()
+	}
+	l.mu.Unlock()
+}
+
+// adoptShortcut flushes buffered observations first — the grafted
+// supports must be computed over fully applied state, matching the
+// per-observation learners — then adopts and publishes.
+func (l *batchedAssocLearner) adoptShortcut(hv, hw trace.HostID) {
+	l.mu.Lock()
+	if l.buf.Len() > 0 {
+		l.flushLocked()
+	}
+	for _, u := range collectAdoptions(l.idx.Range, hv, l.cfg.Threshold) {
+		if l.idx.Support(u.ante, hw) < u.sup {
+			l.idx.Set(u.ante, hw, u.sup*1.01)
+		}
+	}
+	l.pub.Publish()
+	l.mu.Unlock()
 }
 
 // adoption is one active rule {ante} -> {v} whose support a shortcut to w
@@ -343,6 +441,26 @@ func NewAssoc(cfg AssocConfig) *Assoc {
 	}
 	if cfg.PublishEvery <= 0 {
 		cfg.PublishEvery = 64
+	}
+	if cfg.Batch > core.MaxObsBatch {
+		cfg.Batch = core.MaxObsBatch
+	}
+	if cfg.Batch > 0 {
+		// The batched plane always runs on the sharded index (one shard
+		// is fine — the batch amortizes that single lock too), with
+		// flat-table shards: once locking is amortized, the builtin
+		// map's per-observation cost is the bottleneck.
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		idx := core.NewShardedFlatDecayIndex(cfg.Threshold, shards)
+		pub := core.NewShardedPublisher(idx, core.PublisherConfig{
+			Policy: cfg.Publish, Epoch: cfg.PublishEvery,
+		})
+		return &Assoc{cfg: cfg, pub: pub, learn: &batchedAssocLearner{
+			cfg: cfg, idx: idx, pub: pub, buf: core.NewObsBatch(cfg.Batch),
+		}}
 	}
 	if cfg.Shards > 1 {
 		idx := core.NewShardedDecayIndex(cfg.Threshold, cfg.Shards)
@@ -472,9 +590,19 @@ func (a *Assoc) AdoptShortcut(v, w int32) {
 // PublishNow forces an immediate snapshot publication regardless of the
 // configured policy — the escape hatch that resumes serving fresh rules
 // after a publication stall (and the chaos harness's lever for staging
-// one).
+// one). Buffered observations (AssocConfig.Batch) are flushed first, so
+// the snapshot reflects everything observed so far.
 func (a *Assoc) PublishNow() {
+	a.learn.flush()
 	a.pub.Publish()
+}
+
+// FlushObs forces any observations buffered by the batched learn plane
+// (AssocConfig.Batch) into the index without publishing. A no-op on the
+// per-observation planes. After FlushObs, the learn-plane state is
+// identical to unbatched application of the same observation stream.
+func (a *Assoc) FlushObs() {
+	a.learn.flush()
 }
 
 // SnapshotLag reports how many observations the learn plane has

@@ -87,3 +87,26 @@ func (t *CountTable[K]) Decay(factor, floor float64, onChange func(k K, old, now
 		}
 	}
 }
+
+// DecayTracked is Decay specialized for threshold-crossing callers: the
+// callback fires only for entries whose count crossed threshold (in
+// either direction), not for every entry. The decay arithmetic and
+// deletion are identical to Decay — only the callback filter differs —
+// but a sweep over a large table whose entries mostly sit below the
+// threshold now pays one comparison per entry instead of one closure
+// call, which is what keeps periodic decay cheap enough for the
+// amortized learn-plane budget.
+func (t *CountTable[K]) DecayTracked(factor, floor, threshold float64, onCross func(k K, old, now float64)) {
+	for k, v := range t.counts {
+		now := v * factor
+		if now < floor {
+			delete(t.counts, k)
+			now = 0
+		} else {
+			t.counts[k] = now
+		}
+		if (v >= threshold) != (now >= threshold) {
+			onCross(k, v, now)
+		}
+	}
+}

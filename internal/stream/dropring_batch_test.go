@@ -1,0 +1,182 @@
+package stream
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// TestPushBatchFIFOAndOverflow pins PushBatch's shedding semantics: a
+// batch longer than the free space displaces the oldest queued items,
+// item by item, exactly as individual Pushes would — including earlier
+// items of the same batch when the batch exceeds the ring's capacity.
+func TestPushBatchFIFOAndOverflow(t *testing.T) {
+	r := NewDropRing[int](4)
+	if d := r.PushBatch(nil); d != 0 {
+		t.Fatalf("empty batch dropped %d", d)
+	}
+	if d := r.PushBatch([]int{1, 2, 3}); d != 0 {
+		t.Fatalf("batch below capacity dropped %d", d)
+	}
+	// 3 queued + 3 pushed into cap 4: the 2 oldest (1, 2) are shed.
+	if d := r.PushBatch([]int{4, 5, 6}); d != 2 {
+		t.Fatalf("overflow batch dropped %d, want 2", d)
+	}
+	for want := 3; want <= 6; want++ {
+		if v, ok := r.Pop(); !ok || v != want {
+			t.Fatalf("want %d, got %d ok=%v", want, v, ok)
+		}
+	}
+
+	// A batch longer than the whole ring keeps only its own newest cap
+	// items — the batch displaced its own head.
+	if d := r.PushBatch([]int{10, 11, 12, 13, 14, 15}); d != 2 {
+		t.Fatalf("oversized batch dropped %d, want 2", d)
+	}
+	for want := 12; want <= 15; want++ {
+		if v, ok := r.Pop(); !ok || v != want {
+			t.Fatalf("want %d, got %d ok=%v", want, v, ok)
+		}
+	}
+}
+
+// TestPushBatchClosedShedsWhole pins the settlement identity on a closed
+// ring: the entire batch is shed, so accepted == len - dropped == 0.
+func TestPushBatchClosedShedsWhole(t *testing.T) {
+	r := NewDropRing[int](4)
+	r.Push(1)
+	r.Close()
+	if d := r.PushBatch([]int{2, 3, 4}); d != 3 {
+		t.Fatalf("closed ring dropped %d, want the whole batch", d)
+	}
+	if v, ok := r.Pop(); !ok || v != 1 {
+		t.Fatalf("pre-close item lost: %d ok=%v", v, ok)
+	}
+	if _, ok := r.Pop(); ok {
+		t.Fatal("drained closed ring still popping")
+	}
+}
+
+// TestPopBatchDrainAndClose pins the consumer side: PopBatch takes what
+// is there (never waiting for a full dst), drains FIFO across wrap, and
+// reports ok=false only once the ring is closed and empty. A zero-length
+// dst probes liveness without dequeuing.
+func TestPopBatchDrainAndClose(t *testing.T) {
+	r := NewDropRing[int](8)
+	r.PushBatch([]int{1, 2, 3, 4, 5})
+	dst := make([]int, 3)
+	if n, ok := r.PopBatch(dst); !ok || n != 3 || dst[0] != 1 || dst[2] != 3 {
+		t.Fatalf("first drain: n=%d ok=%v dst=%v", n, ok, dst)
+	}
+	if n, ok := r.PopBatch(dst); !ok || n != 2 || dst[0] != 4 || dst[1] != 5 {
+		t.Fatalf("partial drain: n=%d ok=%v dst=%v", n, ok, dst)
+	}
+	if n, ok := r.PopBatch(nil); n != 0 || !ok {
+		t.Fatalf("zero-dst probe on open ring: n=%d ok=%v", n, ok)
+	}
+	r.Push(6)
+	r.Close()
+	if n, ok := r.PopBatch(dst); !ok || n != 1 || dst[0] != 6 {
+		t.Fatalf("post-close drain: n=%d ok=%v dst=%v", n, ok, dst)
+	}
+	if n, ok := r.PopBatch(dst); ok || n != 0 {
+		t.Fatalf("closed+drained: n=%d ok=%v", n, ok)
+	}
+	if n, ok := r.PopBatch(nil); n != 0 || ok {
+		t.Fatalf("zero-dst probe on dead ring: n=%d ok=%v", n, ok)
+	}
+}
+
+// TestPopBatchBlocksUntilPush verifies PopBatch parks on an empty open
+// ring and wakes when a batch arrives, and that one PushBatch can feed a
+// consumer draining in smaller chunks.
+func TestPopBatchBlocksUntilPush(t *testing.T) {
+	r := NewDropRing[int](8)
+	got := make(chan []int, 1)
+	go func() {
+		var out []int
+		dst := make([]int, 2)
+		for {
+			n, ok := r.PopBatch(dst)
+			if !ok {
+				got <- out
+				return
+			}
+			out = append(out, dst[:n]...)
+		}
+	}()
+	r.PushBatch([]int{1, 2, 3, 4, 5})
+	r.Close()
+	out := <-got
+	for i, v := range out {
+		if v != i+1 {
+			t.Fatalf("out = %v", out)
+		}
+	}
+	if len(out) != 5 {
+		t.Fatalf("drained %d of 5", len(out))
+	}
+}
+
+// TestBatchConservationQuick is the settlement property the vantage
+// server's drop accounting rests on, under real concurrency: with P
+// producers each pushing batches and one consumer draining until the
+// ring closes, accepted == pushed - dropped == popped — no item is lost,
+// duplicated, or left unaccounted, whatever the interleaving.
+func TestBatchConservationQuick(t *testing.T) {
+	f := func(capRaw, prodRaw, batchRaw uint8) bool {
+		capacity := 1 + int(capRaw)%32
+		producers := 1 + int(prodRaw)%4
+		batch := 1 + int(batchRaw)%48
+		r := NewDropRing[int](capacity)
+
+		popped := make(chan int, 1)
+		go func() {
+			n := 0
+			dst := make([]int, 16)
+			for {
+				k, ok := r.PopBatch(dst)
+				if !ok {
+					popped <- n
+					return
+				}
+				n += k
+			}
+		}()
+
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		pushed, dropped := 0, 0
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				vs := make([]int, batch)
+				d, total := 0, 0
+				for i := 0; i < 20; i++ {
+					for j := range vs {
+						vs[j] = p<<16 | i<<8 | j
+					}
+					d += r.PushBatch(vs)
+					total += len(vs)
+				}
+				mu.Lock()
+				pushed += total
+				dropped += d
+				mu.Unlock()
+			}(p)
+		}
+		wg.Wait()
+		r.Close()
+		n := <-popped
+		if pushed-dropped != n {
+			t.Logf("cap=%d producers=%d batch=%d: pushed %d dropped %d popped %d",
+				capacity, producers, batch, pushed, dropped, n)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

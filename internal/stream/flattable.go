@@ -1,0 +1,610 @@
+package stream
+
+import "math"
+
+// FlatCountTable is CountTable specialized for integer-packed keys: dense
+// key/entry arrays addressed through an open-addressing hash index
+// (linear probing). A builtin-map CountTable pays two hashed map
+// operations per Add (read then write); the flat table resolves the slot
+// once and mutates the dense entry in place.
+//
+// Just as important for the learn plane, periodic decay is *scheduled*
+// rather than swept. Every decay factor the engine actually uses is a
+// power of two (0.5), and multiplying a normal float64 by 2^-s does
+// nothing but decrement its exponent field by s — so the exact decay
+// boundary at which a count first falls below the prune floor is
+// computable in closed form from the value's bits the moment it is
+// stored. The table keeps each entry's value lazily: (bits stored at
+// generation e) rebased to generation g by subtracting (g-e)*s from the
+// exponent field, bit-identical to having multiplied at every boundary.
+// Entries carry their death generation, a 4096-bucket ring histogram
+// counts scheduled deaths per generation, and an active list tracks the
+// few entries at or above the caller's crossing threshold. A decay step
+// is then: sweep the active list for threshold crossings, bump the
+// generation, and pop one histogram bucket — O(active) + O(1), with no
+// visit to the surviving entries at all and evictions happening
+// passively. General factors, subnormal floors, or changed parameters
+// fall back to an eager full sweep (after materializing every lazy
+// value), so the schedule is a transparent fast path, not a semantic
+// fork.
+//
+// Dead entries stay in place: position and hash slot retained, invisible
+// to every operation, revived by a plain store if the key is re-observed
+// (the common fate of a decay-evicted pair). The dense region is
+// compacted away only when the dead dwarf the living. The observable
+// semantics are bit-identical to CountTable — same float arithmetic in
+// the same value sequence, entries deleted the moment they reach zero
+// (Add/Set) or fall below the decay floor — so an index backed by either
+// table produces identical counts, crossings, and snapshots for the same
+// operation sequence. Only Range/Decay iteration order differs, and both
+// tables leave that unspecified. Not safe for concurrent use, exactly
+// like CountTable.
+type FlatCountTable[K ~uint64] struct {
+	// Hash index: hpos[i] == 0 marks a free slot, otherwise hpos[i]-1 is
+	// the entry's dense position and hkeys[i] its key (kept beside the
+	// position so probing never chases into the dense arrays). Dead
+	// entries keep their slot, so the index never needs tombstones.
+	hkeys []K
+	hpos  []int32
+	shift uint8 // 64 - log2(len(hpos)), for the multiplicative hash
+
+	// Dense entries, appended in insertion order; live counts the alive
+	// ones. meta packs value+epoch+death into 16 bytes so an Add touches
+	// one entry cache line.
+	keys []K
+	meta []fcMeta
+	live int
+
+	// Schedule state (sched == true): decay parameters bound at the
+	// first schedulable decay call. gen is the decay generation; sfexp
+	// and sfmant are the floor's exponent and mantissa fields, the
+	// inputs to the closed-form lifespan; deathsAt is the per-generation
+	// death histogram (ring of histSize, ample since a lifespan never
+	// exceeds 2046 steps); active and apos (position -> active index+1)
+	// maintain the set of alive entries with value >= sth.
+	gen    int32
+	sched  bool
+	shalve int32 // s in factor = 2^-s
+	sfexp  int32
+	sfmant uint64
+	sfloor float64
+	sth    float64
+
+	deathsAt []int32
+	active   []int32
+	apos     []int32
+}
+
+// fcMeta is one entry's mutable state: the value bits as stored at
+// generation epoch (rebased lazily to the current generation), and the
+// generation at which the entry dies (death <= gen means already dead;
+// fcImmortal when no decay schedule is bound).
+type fcMeta struct {
+	val   float64
+	epoch int32
+	death int32
+}
+
+const (
+	fcMinCap   = 16 // initial hash-slot count (power of two)
+	fcMantMask = 1<<52 - 1
+	histSize   = 4096
+	histMask   = histSize - 1
+	fcImmortal = int32(1) << 30
+	// fcGenLimit forces a flush (rebasing generations back to zero)
+	// before gen + lifespan could collide with the immortal sentinel.
+	fcGenLimit = fcImmortal - histSize
+)
+
+// NewFlatCountTable returns an empty table.
+func NewFlatCountTable[K ~uint64]() *FlatCountTable[K] {
+	t := &FlatCountTable[K]{}
+	t.reindex(fcMinCap)
+	return t
+}
+
+func (t *FlatCountTable[K]) reindex(capacity int) {
+	t.hkeys = make([]K, capacity)
+	t.hpos = make([]int32, capacity)
+	t.shift = 64
+	for c := capacity; c > 1; c >>= 1 {
+		t.shift--
+	}
+	mask := capacity - 1
+	for p, k := range t.keys {
+		i := t.slot(k)
+		for t.hpos[i] != 0 {
+			i = (i + 1) & mask
+		}
+		t.hkeys[i], t.hpos[i] = k, int32(p)+1
+	}
+}
+
+// slot returns k's home slot: a Fibonacci multiplicative hash keeps
+// sequentially assigned host ids from clustering into probe chains.
+func (t *FlatCountTable[K]) slot(k K) int {
+	return int(uint64(k) * 0x9e3779b97f4a7c15 >> t.shift)
+}
+
+// grow keeps the hash load factor under 3/4 by doubling. Dead entries
+// count toward the load — deliberately: they are kept *because* revival
+// is cheaper than reinsertion, so the index sizes to the key universe
+// and reaches a steady state with no rebuilds at all. Only when the dead
+// dwarf the living (maybeCompact) is the universe judged to have moved
+// on and the table rebuilt smaller.
+func (t *FlatCountTable[K]) grow() {
+	if 4*len(t.keys) > 3*len(t.hpos) {
+		t.reindex(2 * len(t.hpos))
+	}
+}
+
+// find locates k's slot (ok=true — the entry may be alive or dead) or
+// the free slot where it would be inserted (ok=false).
+func (t *FlatCountTable[K]) find(k K) (idx int, ok bool) {
+	mask := len(t.hpos) - 1
+	i := t.slot(k)
+	for {
+		switch {
+		case t.hpos[i] == 0:
+			return i, false
+		case t.hkeys[i] == k:
+			return i, true
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// val returns alive entry p's current value, rebasing the stored bits
+// across the generations since it was written: each generation is one
+// exact multiply by 2^-s, i.e. a subtraction of s from the exponent
+// field. Alive entries that have survived a boundary are >= the (normal)
+// floor, so the arithmetic never leaves the normal range and the rebase
+// is bit-identical to the eager multiplies it replaces.
+func (t *FlatCountTable[K]) val(p int) float64 {
+	m := &t.meta[p]
+	if m.epoch == t.gen {
+		return m.val
+	}
+	return math.Float64frombits(math.Float64bits(m.val) - uint64(int64(t.gen-m.epoch)*int64(t.shalve))<<52)
+}
+
+// lifespan returns the number of decay steps k >= 1 after which a value
+// with bits vb, stored this generation, first falls below the bound
+// floor. With D the difference of biased exponents, the value survives
+// step k while s*k < D, or s*k == D with its mantissa still at or above
+// the floor's — so death is the smallest k past that, never more than
+// 2046 steps (the full normal exponent range at s=1), which is what lets
+// deathsAt be a fixed ring.
+func (t *FlatCountTable[K]) lifespan(vb uint64) int32 {
+	d := int32(vb>>52) - t.sfexp
+	if d < 0 {
+		return 1
+	}
+	if vb&fcMantMask >= t.sfmant {
+		if t.shalve == 1 {
+			return d + 1
+		}
+		return d/t.shalve + 1
+	}
+	if d == 0 {
+		return 1
+	}
+	if t.shalve == 1 {
+		return d
+	}
+	return (d + t.shalve - 1) / t.shalve
+}
+
+func (t *FlatCountTable[K]) actAdd(p int) {
+	t.active = append(t.active, int32(p))
+	t.apos[p] = int32(len(t.active))
+}
+
+func (t *FlatCountTable[K]) actDel(p int) {
+	j := int(t.apos[p]) - 1
+	last := len(t.active) - 1
+	q := t.active[last]
+	t.active[j] = q
+	t.apos[q] = int32(j) + 1
+	t.active = t.active[:last]
+	t.apos[p] = 0
+}
+
+// insert places k at free hash slot i (as returned by a failed find).
+func (t *FlatCountTable[K]) insert(i int, k K, v float64) {
+	t.keys = append(t.keys, k)
+	t.meta = append(t.meta, fcMeta{val: v, epoch: t.gen, death: fcImmortal})
+	t.apos = append(t.apos, 0)
+	t.hkeys[i], t.hpos[i] = k, int32(len(t.keys))
+	p := len(t.keys) - 1
+	t.live++
+	if t.sched {
+		d := t.gen + t.lifespan(math.Float64bits(v))
+		t.meta[p].death = d
+		t.deathsAt[uint32(d)&histMask]++
+		if v >= t.sth {
+			t.actAdd(p)
+		}
+	}
+	t.grow()
+}
+
+// revive makes dead entry p alive again with value v — a re-observed key
+// costs a store, not a fresh insert.
+func (t *FlatCountTable[K]) revive(p int, v float64) {
+	m := &t.meta[p]
+	m.val = v
+	m.epoch = t.gen
+	t.live++
+	if !t.sched {
+		m.death = fcImmortal
+		return
+	}
+	d := t.gen + t.lifespan(math.Float64bits(v))
+	m.death = d
+	t.deathsAt[uint32(d)&histMask]++
+	if v >= t.sth {
+		t.actAdd(p)
+	}
+}
+
+// touch restores alive entry p with its new value: rescheduling its
+// death (moving its histogram count when the boundary changed) and
+// maintaining active-list membership across the threshold.
+func (t *FlatCountTable[K]) touch(p int, old, now float64) {
+	m := &t.meta[p]
+	m.val = now
+	m.epoch = t.gen
+	if !t.sched {
+		return
+	}
+	nd := t.gen + t.lifespan(math.Float64bits(now))
+	if od := m.death; od != nd {
+		t.deathsAt[uint32(od)&histMask]--
+		t.deathsAt[uint32(nd)&histMask]++
+		m.death = nd
+	}
+	was, is := old >= t.sth, now >= t.sth
+	if was != is {
+		if is {
+			t.actAdd(p)
+		} else {
+			t.actDel(p)
+		}
+	}
+}
+
+// kill deletes alive entry p immediately (Add/Set reaching zero),
+// reclaiming its pending histogram count.
+func (t *FlatCountTable[K]) kill(p int) {
+	m := &t.meta[p]
+	if t.sched {
+		t.deathsAt[uint32(m.death)&histMask]--
+		if t.apos[p] != 0 {
+			t.actDel(p)
+		}
+	}
+	m.death = t.gen
+	t.live--
+	t.maybeCompact()
+}
+
+// maybeCompact compacts the dead entries away when they dwarf the live
+// set — churning key universes where most of the dead never revive — so
+// memory tracks the recent key universe rather than its all-time union.
+func (t *FlatCountTable[K]) maybeCompact() {
+	if dead := len(t.keys) - t.live; dead > 4*t.live+64 {
+		t.compact()
+	}
+}
+
+// compact drops dead entries from the dense arrays and rebuilds the hash
+// index and active list over the survivors.
+func (t *FlatCountTable[K]) compact() {
+	t.active = t.active[:0]
+	w := 0
+	for p := range t.meta {
+		if t.meta[p].death <= t.gen {
+			continue
+		}
+		act := t.apos[p] != 0
+		t.keys[w] = t.keys[p]
+		t.meta[w] = t.meta[p]
+		t.apos[w] = 0
+		if act {
+			t.actAdd(w)
+		}
+		w++
+	}
+	t.keys = t.keys[:w]
+	t.meta = t.meta[:w]
+	t.apos = t.apos[:w]
+	capacity := len(t.hpos)
+	for 4*w > 3*capacity {
+		capacity *= 2
+	}
+	t.reindex(capacity)
+}
+
+// Add adjusts k's count by w (negative w removes support) and returns
+// the count before and after. Entries whose count drops to zero or below
+// are deleted, so a fully retired key reports 0.
+func (t *FlatCountTable[K]) Add(k K, w float64) (old, now float64) {
+	i, ok := t.find(k)
+	if !ok {
+		if w <= 0 {
+			return 0, 0
+		}
+		t.insert(i, k, w)
+		return 0, w
+	}
+	p := int(t.hpos[i]) - 1
+	if t.meta[p].death <= t.gen {
+		if w <= 0 {
+			return 0, 0
+		}
+		t.revive(p, w)
+		return 0, w
+	}
+	old = t.val(p)
+	now = old + w
+	if now <= 0 {
+		t.kill(p)
+		return old, 0
+	}
+	t.touch(p, old, now)
+	return old, now
+}
+
+// Set overwrites k's count with v exactly and returns the previous
+// count. v <= 0 deletes the entry.
+func (t *FlatCountTable[K]) Set(k K, v float64) (old float64) {
+	i, ok := t.find(k)
+	if !ok {
+		if v <= 0 {
+			return 0
+		}
+		t.insert(i, k, v)
+		return 0
+	}
+	p := int(t.hpos[i]) - 1
+	if t.meta[p].death <= t.gen {
+		if v <= 0 {
+			return 0
+		}
+		t.revive(p, v)
+		return 0
+	}
+	old = t.val(p)
+	if v <= 0 {
+		t.kill(p)
+		return old
+	}
+	t.touch(p, old, v)
+	return old
+}
+
+// Get returns k's current count (0 when untracked).
+func (t *FlatCountTable[K]) Get(k K) float64 {
+	if i, ok := t.find(k); ok {
+		if p := int(t.hpos[i]) - 1; t.meta[p].death > t.gen {
+			return t.val(p)
+		}
+	}
+	return 0
+}
+
+// Len returns the number of tracked keys.
+func (t *FlatCountTable[K]) Len() int { return t.live }
+
+// Reset drops every entry while keeping the allocated capacity.
+func (t *FlatCountTable[K]) Reset() {
+	clear(t.hpos)
+	t.keys = t.keys[:0]
+	t.meta = t.meta[:0]
+	t.apos = t.apos[:0]
+	t.live = 0
+	t.gen = 0
+	t.active = t.active[:0]
+	if t.sched {
+		clear(t.deathsAt)
+		t.sched = false
+	}
+}
+
+// Range calls f for every tracked key until f returns false. Iteration
+// order is unspecified; f must not mutate the table.
+func (t *FlatCountTable[K]) Range(f func(k K, count float64) bool) {
+	for p := range t.meta {
+		if t.meta[p].death <= t.gen {
+			continue
+		}
+		if !f(t.keys[p], t.val(p)) {
+			return
+		}
+	}
+}
+
+// flush leaves schedule mode: every alive entry's lazy value is
+// materialized at generation zero, deaths revert to the immortal
+// sentinel, and the histogram and active list clear. The eager-mode
+// invariant — every alive entry stored at the current generation — holds
+// from here on.
+func (t *FlatCountTable[K]) flush() {
+	if !t.sched {
+		return
+	}
+	for p := range t.meta {
+		m := &t.meta[p]
+		if m.death > t.gen {
+			m.val = t.val(p)
+			m.death = fcImmortal
+		} else {
+			m.death = -1
+		}
+		m.epoch = 0
+		t.apos[p] = 0
+	}
+	t.gen = 0
+	t.active = t.active[:0]
+	clear(t.deathsAt)
+	t.sched = false
+}
+
+// eagerStep is one materialized decay sweep: every alive entry
+// multiplied, evicted below floor, reported to each (now == 0 for
+// evictions). Requires eager mode (all alive entries at the current
+// generation).
+func (t *FlatCountTable[K]) eagerStep(factor, floor float64, each func(k K, old, now float64)) {
+	for p := range t.meta {
+		m := &t.meta[p]
+		if m.death <= t.gen {
+			continue
+		}
+		v := m.val
+		now := v * factor
+		if now < floor {
+			m.death = t.gen
+			t.live--
+			now = 0
+		} else {
+			m.val = now
+		}
+		if each != nil {
+			each(t.keys[p], v, now)
+		}
+	}
+	t.maybeCompact()
+}
+
+// bind enters schedule mode for (factor 2^-s, floor, effth): every alive
+// entry gets its closed-form death generation and histogram count, and
+// the active list collects those at or above effth.
+func (t *FlatCountTable[K]) bind(s int32, floor, effth float64) {
+	fb := math.Float64bits(floor)
+	t.shalve = s
+	t.sfexp = int32(fb >> 52)
+	t.sfmant = fb & fcMantMask
+	t.sfloor = floor
+	t.sth = effth
+	if t.deathsAt == nil {
+		t.deathsAt = make([]int32, histSize)
+	}
+	t.sched = true
+	for p := range t.meta {
+		m := &t.meta[p]
+		if m.death <= t.gen {
+			continue
+		}
+		d := t.gen + t.lifespan(math.Float64bits(m.val))
+		m.death = d
+		t.deathsAt[uint32(d)&histMask]++
+		if m.val >= t.sth {
+			t.actAdd(p)
+		}
+	}
+}
+
+// schedStep is one scheduled decay boundary: crossings swept off the
+// active list, then the generation advances and the histogram bucket for
+// entries dying exactly now pops off the live count. Survivors below the
+// threshold are never visited — their decay is the generation bump.
+func (t *FlatCountTable[K]) schedStep(factor, floor float64, onCross func(k K, old, now float64)) {
+	for j := len(t.active) - 1; j >= 0; j-- {
+		p := int(t.active[j])
+		v := t.val(p)
+		now := v * factor
+		if now >= floor && now >= t.sth {
+			continue
+		}
+		t.actDel(p)
+		if now < floor {
+			now = 0
+		}
+		if onCross != nil {
+			onCross(t.keys[p], v, now)
+		}
+	}
+	t.gen++
+	b := uint32(t.gen) & histMask
+	t.live -= int(t.deathsAt[b])
+	t.deathsAt[b] = 0
+	t.maybeCompact()
+}
+
+// schedFactor reports whether factor is exactly 2^-s for some s >= 1
+// (normal, in (0, 1)) — the precondition for exponent-arithmetic decay.
+func schedFactor(factor float64) (int32, bool) {
+	fb := math.Float64bits(factor)
+	if fb&fcMantMask != 0 {
+		return 0, false
+	}
+	e := int64(fb >> 52)
+	if e < 1 || e >= 1023 {
+		return 0, false
+	}
+	return int32(1023 - e), true
+}
+
+// floorSchedulable reports whether floor is a positive normal float —
+// required so every surviving value stays normal and the exponent
+// arithmetic stays exact.
+func floorSchedulable(floor float64) bool {
+	e := math.Float64bits(floor) >> 52
+	return e >= 1 && e <= 2046
+}
+
+// Decay multiplies every count by factor, deleting entries that fall
+// below floor. onChange, if non-nil, observes every entry's (old, now)
+// pair — now is 0 for deleted entries — which forces the eager sweep;
+// with a nil onChange the scheduled path applies.
+func (t *FlatCountTable[K]) Decay(factor, floor float64, onChange func(k K, old, now float64)) {
+	if onChange == nil {
+		t.DecayTracked(factor, floor, 0, nil)
+		return
+	}
+	t.flush()
+	t.eagerStep(factor, floor, onChange)
+}
+
+// DecayTracked is Decay specialized for threshold-crossing callers: the
+// callback fires only for entries whose count crossed threshold (in
+// either direction), with identical decay arithmetic and deletion. This
+// is the learn plane's boundary operation, and the one the schedule
+// exists for: when factor is a power of two and the parameters match the
+// bound schedule, the step costs one sweep of the active (>= threshold)
+// entries plus a histogram pop, independent of table size. The first
+// call with new parameters runs eagerly and binds the schedule for the
+// calls that follow; non-schedulable parameters simply stay eager.
+func (t *FlatCountTable[K]) DecayTracked(factor, floor, threshold float64, onCross func(k K, old, now float64)) {
+	effth := threshold
+	if threshold <= 0 || onCross == nil {
+		// No crossing is observable: every count is forever on one side
+		// of the threshold. An empty active set models that exactly.
+		effth = math.Inf(1)
+	}
+	s, ok := schedFactor(factor)
+	ok = ok && floorSchedulable(floor)
+	if t.gen >= fcGenLimit {
+		t.flush()
+	}
+	if t.sched {
+		if ok && s == t.shalve && floor == t.sfloor && effth == t.sth {
+			t.schedStep(factor, floor, onCross)
+			return
+		}
+		t.flush()
+	}
+	if math.IsInf(effth, 1) {
+		t.eagerStep(factor, floor, nil)
+	} else {
+		t.eagerStep(factor, floor, func(k K, old, now float64) {
+			if (old >= threshold) != (now >= threshold) {
+				onCross(k, old, now)
+			}
+		})
+	}
+	if ok {
+		t.bind(s, floor, effth)
+	}
+}

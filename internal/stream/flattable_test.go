@@ -1,0 +1,253 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// checkFlatInvariants verifies the scheduled-mode bookkeeping wholesale:
+// active-list membership exactly tracks alive entries at or above the
+// threshold, apos back-pointers are consistent, the live count matches
+// the alive entries, and every scheduled death generation agrees with an
+// eager multiply-until-floor simulation of the same value.
+func checkFlatInvariants[K ~uint64](tt *testing.T, t *FlatCountTable[K], tag string) {
+	tt.Helper()
+	live := 0
+	for p := range t.meta {
+		m := &t.meta[p]
+		if m.death <= t.gen {
+			if t.sched && t.apos[p] != 0 {
+				tt.Fatalf("%s: dead entry %d (key %v) still on active list", tag, p, t.keys[p])
+			}
+			continue
+		}
+		live++
+		if !t.sched {
+			continue
+		}
+		v := t.val(p)
+		inAct := t.apos[p] != 0
+		if (v >= t.sth) != inAct {
+			tt.Fatalf("%s: entry %d key %v val %v threshold %v active=%v", tag, p, t.keys[p], v, t.sth, inAct)
+		}
+		if inAct {
+			j := int(t.apos[p]) - 1
+			if j >= len(t.active) || int(t.active[j]) != p {
+				tt.Fatalf("%s: entry %d apos %d inconsistent with active list", tag, p, t.apos[p])
+			}
+		}
+		vv, k := v, int32(0)
+		factor := math.Ldexp(1, -int(t.shalve))
+		for vv >= t.sfloor && k < 5000 {
+			vv *= factor
+			k++
+		}
+		if k == 0 {
+			k = 1 // entries below the floor die at the next decay, not before
+		}
+		if m.death != t.gen+k {
+			tt.Fatalf("%s: entry %d key %v val %v death %d, eager says %d (gen %d)",
+				tag, p, t.keys[p], v, m.death, t.gen+k, t.gen)
+		}
+	}
+	if live != t.live {
+		tt.Fatalf("%s: live=%d but %d alive entries", tag, t.live, live)
+	}
+}
+
+// TestFlatCountTableMatchesMap is the backend-equivalence property the
+// batched learn plane rests on: an arbitrary interleaving of Add (with
+// negative weights), Set (including deletes), Reset, and DecayTracked —
+// rotating between scheduled (power-of-two) and eager factors to force
+// flush/rebind transitions — must leave the flat table bit-identical to
+// the map-backed CountTable at every step: same lengths, same values,
+// same crossing-callback counts. The scheduled-mode invariants are
+// checked wholesale after every operation.
+func TestFlatCountTableMatchesMap(t *testing.T) {
+	factors := [][2]float64{{0.5, 0.25}, {0.25, 0.125}, {0.7, 0.2}, {0.9, 0.01}}
+	f := func(seed uint64, thRaw uint8) bool {
+		threshold := float64(1 + int(thRaw)%3)
+		ref := NewCountTable[uint64]()
+		flat := NewFlatCountTable[uint64]()
+		rng := seed | 1
+		next := func(n int) int {
+			rng ^= rng << 13
+			rng ^= rng >> 7
+			rng ^= rng << 17
+			return int(rng % uint64(n))
+		}
+		fi := next(len(factors))
+		for step := 0; step < 4000; step++ {
+			k := uint64(1 + next(12))
+			switch op := next(100); {
+			case op < 55:
+				ao, an := ref.Add(k, 1)
+				bo, bn := flat.Add(k, 1)
+				if ao != bo || an != bn {
+					t.Logf("step %d: Add(%d,1) = (%v,%v) vs (%v,%v)", step, k, ao, an, bo, bn)
+					return false
+				}
+			case op < 68:
+				w := float64(next(7)) - 2.5 // negative weights delete at zero
+				ref.Add(k, w)
+				flat.Add(k, w)
+			case op < 76:
+				v := float64(next(6)) - 1 // v <= 0 deletes
+				if ao, bo := ref.Set(k, v), flat.Set(k, v); ao != bo {
+					t.Logf("step %d: Set(%d,%v) old %v vs %v", step, k, v, ao, bo)
+					return false
+				}
+			case op < 94:
+				if next(10) == 0 {
+					fi = (fi + 1) % len(factors) // force a schedule rebind
+				}
+				var ca, cb int
+				ref.DecayTracked(factors[fi][0], factors[fi][1], threshold,
+					func(k uint64, old, now float64) { ca++ })
+				flat.DecayTracked(factors[fi][0], factors[fi][1], threshold,
+					func(k uint64, old, now float64) { cb++ })
+				if ca != cb {
+					t.Logf("step %d: factor %v crossings %d vs %d", step, factors[fi], ca, cb)
+					return false
+				}
+			default:
+				ref.Reset()
+				flat.Reset()
+			}
+			checkFlatInvariants(t, flat, "after op")
+			if ref.Len() != flat.Len() {
+				t.Logf("step %d: len %d vs %d", step, ref.Len(), flat.Len())
+				return false
+			}
+			for kk := uint64(1); kk <= 12; kk++ {
+				if a, b := ref.Get(kk), flat.Get(kk); a != b {
+					t.Logf("step %d: Get(%d) %v vs %v", step, kk, a, b)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlatCountTableDeepLazyDecay drives many scheduled boundaries with
+// no intervening writes, so values are rebased across a wide generation
+// gap in one Get — the pure exponent-arithmetic path. The surviving
+// values and eviction generations must match eager multiplication
+// exactly, bit for bit.
+func TestFlatCountTableDeepLazyDecay(t *testing.T) {
+	flat := NewFlatCountTable[uint64]()
+	ref := NewCountTable[uint64]()
+	for k := uint64(1); k <= 40; k++ {
+		v := float64(k) * 1.75
+		flat.Set(k, v)
+		ref.Set(k, v)
+	}
+	const floor = 1e-300 // deep floor: hundreds of generations of lifespan
+	for step := 0; step < 1100; step++ {
+		flat.DecayTracked(0.5, floor, 1, func(k uint64, old, now float64) {})
+		ref.DecayTracked(0.5, floor, 1, func(k uint64, old, now float64) {})
+		if flat.Len() != ref.Len() {
+			t.Fatalf("step %d: len %d vs %d", step, flat.Len(), ref.Len())
+		}
+	}
+	for k := uint64(1); k <= 40; k++ {
+		if a, b := flat.Get(k), ref.Get(k); a != b {
+			t.Fatalf("Get(%d) = %v, map says %v", k, a, b)
+		}
+	}
+	if flat.Len() != 0 {
+		// 1100 halvings from ~70 (2^6) ends near 2^-1094, far below the
+		// 1e-300 (~2^-997) floor, so every entry must have been evicted.
+		t.Fatalf("entries survived 1100 halvings: len=%d", flat.Len())
+	}
+}
+
+// TestFlatCountTableReviveAndCompact churns a small alive set through a
+// large key universe so entries die, revive, and eventually trigger
+// compaction, checking the table never loses or resurrects counts.
+func TestFlatCountTableReviveAndCompact(t *testing.T) {
+	flat := NewFlatCountTable[uint64]()
+	ref := NewCountTable[uint64]()
+	rng := uint64(0x9e3779b97f4a7c15)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+	for step := 0; step < 30000; step++ {
+		k := uint64(1 + next(3000))
+		switch op := next(100); {
+		case op < 70:
+			ao, an := ref.Add(k, 2)
+			bo, bn := flat.Add(k, 2)
+			if ao != bo || an != bn {
+				t.Fatalf("step %d: Add(%d) = (%v,%v) vs (%v,%v)", step, k, ao, an, bo, bn)
+			}
+		case op < 90:
+			ref.Add(k, -2) // deletes freshly added keys, churning the dead set
+			flat.Add(k, -2)
+		default:
+			ref.DecayTracked(0.5, 0.25, 1, func(k uint64, old, now float64) {})
+			flat.DecayTracked(0.5, 0.25, 1, func(k uint64, old, now float64) {})
+		}
+		if ref.Len() != flat.Len() {
+			t.Fatalf("step %d: len %d vs %d", step, ref.Len(), flat.Len())
+		}
+	}
+	checkFlatInvariants(t, flat, "final")
+	ref.Range(func(k uint64, v float64) bool {
+		if got := flat.Get(k); got != v {
+			t.Fatalf("Get(%d) = %v, map says %v", k, got, v)
+		}
+		return true
+	})
+}
+
+// TestFlatCountTableSchedulableDetection pins the factor/floor gate: only
+// exact powers of two in (0,1) with positive-normal floors schedule;
+// everything else must take (and stay on) the eager path.
+func TestFlatCountTableSchedulableDetection(t *testing.T) {
+	for _, tc := range []struct {
+		factor float64
+		s      int32
+		ok     bool
+	}{
+		{0.5, 1, true}, {0.25, 2, true}, {0.125, 3, true},
+		{math.Ldexp(1, -40), 40, true},
+		{0.3, 0, false}, {0.9, 0, false}, {1.0, 0, false},
+		{2.0, 0, false}, {0, 0, false}, {-0.5, 0, false},
+	} {
+		s, ok := schedFactor(tc.factor)
+		if ok != tc.ok || (ok && s != tc.s) {
+			t.Errorf("schedFactor(%v) = (%d, %v), want (%d, %v)", tc.factor, s, ok, tc.s, tc.ok)
+		}
+	}
+	for _, tc := range []struct {
+		floor float64
+		ok    bool
+	}{
+		{0.25, true}, {1e-300, true}, {math.MaxFloat64, true},
+		{0, false}, {math.SmallestNonzeroFloat64, false}, {-1, false},
+	} {
+		if got := floorSchedulable(tc.floor); got != tc.ok {
+			t.Errorf("floorSchedulable(%v) = %v, want %v", tc.floor, got, tc.ok)
+		}
+	}
+	// A non-schedulable factor must not leave a stale schedule bound.
+	flat := NewFlatCountTable[uint64]()
+	flat.Set(1, 8)
+	flat.DecayTracked(0.5, 0.25, 1, func(uint64, float64, float64) {})
+	if !flat.sched {
+		t.Fatal("power-of-two factor did not bind a schedule")
+	}
+	flat.DecayTracked(0.9, 0.25, 1, func(uint64, float64, float64) {})
+	if flat.sched {
+		t.Fatal("eager factor left the schedule bound")
+	}
+}

@@ -73,6 +73,18 @@ type RuleConfig struct {
 	// vantage.learn.dropped) so learning lags but memory and hit-path
 	// latency stay bounded. 0 learns synchronously on the hit path.
 	QueueCap int
+	// Batch, when positive, amortizes the learn plane: observations
+	// accumulate into Batch-sized groups on the hit path and are handed
+	// to the queue (PushBatch) and folded into the index (AddBatch) a
+	// whole batch at a time — one synchronization per batch instead of
+	// per observation, with decay announced at exactly the same
+	// observation ordinals. Values above core.MaxObsBatch are clamped;
+	// the batched plane always runs on the sharded index (Shards < 2
+	// uses one shard). Shed accounting still settles exactly: every
+	// observation is eventually absorbed or counted dropped, never lost
+	// — including a partial batch in flight at close. 0 keeps the
+	// per-observation plane.
+	Batch int
 	// StaleObs, when positive, degrades rule serving to flooding once
 	// that many observations have been absorbed since the last publish
 	// (see routing.AssocConfig.StaleObs; counted by
@@ -119,6 +131,15 @@ type ruleServer struct {
 	queue *stream.DropRing[ruleObs]
 	wg    sync.WaitGroup
 
+	// Batched intake (cfg.Batch > 0): observations accumulate in pending
+	// under bmu and move as whole batches — into the queue (PushBatch)
+	// or straight into the index (learnBatch) when there is no queue.
+	// pclosed marks the server closed: later observations count as
+	// dropped (the closed-ring contract), so accounting still settles.
+	bmu     sync.Mutex
+	pending []ruleObs
+	pclosed bool
+
 	// Degradation bookkeeping (cfg.StaleObs/StaleAge). drops mirrors
 	// this server's share of vantage.learn.dropped; lastVer/dropsAtVer
 	// remember the drop count when the served version last changed, so
@@ -143,9 +164,26 @@ func newRuleServer(cfg RuleConfig) *ruleServer {
 	if cfg.PublishEvery <= 0 {
 		cfg.PublishEvery = 64
 	}
+	if cfg.Batch > core.MaxObsBatch {
+		cfg.Batch = core.MaxObsBatch
+	}
 	r := &ruleServer{cfg: cfg}
-	if cfg.Shards > 1 {
-		r.sidx = core.NewShardedDecayIndex(cfg.Threshold, cfg.Shards)
+	if cfg.Batch > 0 {
+		r.pending = make([]ruleObs, 0, cfg.Batch)
+	}
+	if cfg.Shards > 1 || cfg.Batch > 0 {
+		shards := cfg.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		if cfg.Batch > 0 {
+			// Batched intake amortizes the shard locks, so the flat
+			// count table's cheaper per-observation slot resolution is
+			// what sets the intake rate.
+			r.sidx = core.NewShardedFlatDecayIndex(cfg.Threshold, shards)
+		} else {
+			r.sidx = core.NewShardedDecayIndex(cfg.Threshold, shards)
+		}
 		r.pub = core.NewShardedPublisher(r.sidx, core.PublisherConfig{Policy: cfg.Publish, Epoch: cfg.PublishEvery})
 	} else {
 		r.idx = core.NewDecayIndex(cfg.Threshold)
@@ -172,6 +210,19 @@ func (r *ruleServer) start() {
 		r.wg.Add(1)
 		go func() {
 			defer r.wg.Done()
+			if r.cfg.Batch > 0 {
+				// Batch-aware drain: pop up to a batch per ring
+				// synchronization and fold it in with one AddBatch per
+				// decay segment.
+				buf := make([]ruleObs, r.cfg.Batch)
+				for {
+					n, ok := r.queue.PopBatch(buf)
+					if !ok {
+						return
+					}
+					r.learnBatch(buf[:n])
+				}
+			}
 			for {
 				obs, ok := r.queue.Pop()
 				if !ok {
@@ -183,14 +234,41 @@ func (r *ruleServer) start() {
 	}
 }
 
-// close drains and stops the background learners (no-op without a
-// queue). Queued observations are absorbed before the learners exit.
+// close drains and stops the learn plane. A partial batch still pending
+// on the hit path is flushed whole — into the queue (fully queued, any
+// shedding of older items accounted) or straight into the index — so an
+// in-flight batch is always fully absorbed or fully counted dropped,
+// never split or leaked. Observations arriving after close count as
+// dropped, mirroring the closed ring's Push contract. Queued
+// observations are absorbed before the learners exit.
 func (r *ruleServer) close() {
+	if r.cfg.Batch > 0 {
+		r.bmu.Lock()
+		if len(r.pending) > 0 {
+			if r.queue != nil {
+				r.accountDrops(r.queue.PushBatch(r.pending))
+			} else {
+				r.learnBatch(r.pending)
+			}
+			r.pending = r.pending[:0]
+		}
+		r.pclosed = true
+		r.bmu.Unlock()
+	}
 	if r.queue == nil {
 		return
 	}
 	r.queue.Close()
 	r.wg.Wait()
+}
+
+// accountDrops records n shed observations in both the process counter
+// and this server's degradation bookkeeping.
+func (r *ruleServer) accountDrops(n int) {
+	if n > 0 {
+		mLearnDropped.Add(int64(n))
+		r.drops.Add(int64(n))
+	}
 }
 
 // observe takes one routed query-hit observation: queries arriving on
@@ -202,6 +280,10 @@ func (r *ruleServer) observe(upstreamConn, viaConn int) {
 	if upstreamConn < 0 || upstreamConn == viaConn {
 		return // our own search, or a degenerate loop
 	}
+	if r.cfg.Batch > 0 {
+		r.observeBatched(ruleObs{upstreamConn, viaConn})
+		return
+	}
 	if r.queue != nil {
 		if r.queue.Push(ruleObs{upstreamConn, viaConn}) {
 			mLearnDropped.Inc()
@@ -210,6 +292,37 @@ func (r *ruleServer) observe(upstreamConn, viaConn int) {
 		return
 	}
 	r.learn(upstreamConn, viaConn)
+}
+
+// observeBatched accumulates one observation into the pending batch and
+// moves the batch on when full — to the queue as one PushBatch, or
+// (without a queue) straight into the index as one learnBatch. After
+// close the observation counts as dropped, never silently lost.
+func (r *ruleServer) observeBatched(obs ruleObs) {
+	r.bmu.Lock()
+	if r.pclosed {
+		r.bmu.Unlock()
+		mLearnDropped.Inc()
+		r.drops.Add(1)
+		return
+	}
+	r.pending = append(r.pending, obs)
+	if len(r.pending) < r.cfg.Batch {
+		r.bmu.Unlock()
+		return
+	}
+	if r.queue != nil {
+		// PushBatch copies the items into the ring, so pending can be
+		// reused immediately.
+		dropped := r.queue.PushBatch(r.pending)
+		r.pending = r.pending[:0]
+		r.bmu.Unlock()
+		r.accountDrops(dropped)
+		return
+	}
+	r.learnBatch(r.pending)
+	r.pending = r.pending[:0]
+	r.bmu.Unlock()
 }
 
 // learn folds one observation into whichever learn plane is configured,
@@ -231,6 +344,46 @@ func (r *ruleServer) learn(upstreamConn, viaConn int) {
 		r.idx.Decay(r.cfg.Decay, r.cfg.Floor)
 	}
 	r.pub.Observe()
+}
+
+// learnBatch folds a batch of observations into the sharded index with
+// one AddBatch per decay segment. The batch claims its observation
+// ordinals atomically up front, then splits at every DecayEvery boundary
+// inside its claimed range and announces the (lazy) decay there — on a
+// sequential stream the decay ordinals are bit-identical to per-obs
+// learning, and under concurrent drainers the total decay count is still
+// exactly total/DecayEvery (each boundary belongs to exactly one claimed
+// range). The publisher sees ObserveN(segment): one policy check per
+// segment instead of per observation. len(obs) never exceeds cfg.Batch
+// <= core.MaxObsBatch, so the conversion scratch lives on the stack.
+func (r *ruleServer) learnBatch(obs []ruleObs) {
+	if len(obs) == 0 {
+		return
+	}
+	var scratch [core.MaxObsBatch]core.Obs
+	conv := scratch[:len(obs)]
+	for i, o := range obs {
+		conv[i] = core.Obs{Src: connHost(o.up), Rep: connHost(o.via)}
+	}
+	start := r.sseen.Add(int64(len(obs))) - int64(len(obs))
+	if r.cfg.DecayEvery <= 0 {
+		r.sidx.AddBatch(conv)
+		r.pub.ObserveN(len(conv))
+		return
+	}
+	de := int64(r.cfg.DecayEvery)
+	for applied := int64(0); applied < int64(len(conv)); {
+		seg := de - (start+applied)%de // observations to the next boundary
+		if rest := int64(len(conv)) - applied; seg > rest {
+			seg = rest
+		}
+		r.sidx.AddBatch(conv[applied : applied+seg])
+		applied += seg
+		if (start+applied)%de == 0 {
+			r.sidx.Decay(r.cfg.Decay, r.cfg.Floor)
+		}
+		r.pub.ObserveN(int(seg))
+	}
 }
 
 // degraded reports whether the served snapshot should not be trusted to

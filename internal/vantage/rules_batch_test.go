@@ -1,0 +1,103 @@
+package vantage
+
+import (
+	"sync"
+	"testing"
+
+	"arq/internal/core"
+	"arq/internal/obsv"
+)
+
+// TestRuleServerBatchedLearns pins the queueless batched intake
+// white-box: observations accumulate in the pending batch and fold into
+// the index only when the batch fills, and close() flushes the partial
+// batch whole — nothing is lost and nothing is applied early.
+func TestRuleServerBatchedLearns(t *testing.T) {
+	cfg := DefaultRuleConfig()
+	cfg.Batch = 4
+	cfg.DecayEvery = 0 // no decay: supports count observations exactly
+	r := newRuleServer(cfg)
+	r.start() // no queue: start is a no-op, learning happens on the hit path
+
+	for i := 0; i < 3; i++ {
+		r.observe(0, 1)
+	}
+	if got := r.sidx.Support(connHost(0), connHost(1)); got != 0 {
+		t.Fatalf("partial batch already applied: support %v", got)
+	}
+	r.observe(0, 1) // fourth observation fills the batch
+	if got := r.sidx.Support(connHost(0), connHost(1)); got != 4 {
+		t.Fatalf("full batch not applied: support %v, want 4", got)
+	}
+	for i := 0; i < 2; i++ {
+		r.observe(0, 1) // left pending at close
+	}
+	r.close()
+	if got := r.sidx.Support(connHost(0), connHost(1)); got != 6 {
+		t.Fatalf("close did not flush the partial batch: support %v, want 6", got)
+	}
+	// Observations after close count as dropped, never silently lost.
+	before := obsv.GetCounter("vantage.learn.dropped").Value()
+	r.observe(0, 1)
+	if got := obsv.GetCounter("vantage.learn.dropped").Value() - before; got != 1 {
+		t.Fatalf("post-close observation dropped %d times, want 1", got)
+	}
+	if got := r.drops.Load(); got != 1 {
+		t.Fatalf("server drop share %d, want 1", got)
+	}
+}
+
+// TestRuleServerBatchedSettlement is the batched learn plane's
+// accounting contract under the full stack — pending batch, bounded
+// queue, sharded batch-draining learners — with concurrent producers:
+// every observation is either absorbed (claimed by sseen) or counted
+// dropped, batches are never split or double-counted, and close()
+// settles the in-flight batch exactly. Run with -race in CI.
+func TestRuleServerBatchedSettlement(t *testing.T) {
+	cfg := DefaultRuleConfig()
+	cfg.Batch = 4
+	cfg.QueueCap = 32
+	cfg.Shards = 2
+	cfg.DecayEvery = 0
+	cfg.Publish = core.PublishEpoch
+	r := newRuleServer(cfg)
+	r.start()
+
+	// 3*1025 = 3075 observations, not a multiple of Batch=4, so a partial
+	// batch is guaranteed to be in flight when close() runs.
+	const producers, perProducer = 3, 1025
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				r.observe(p, producers+i%13)
+			}
+		}(p)
+	}
+	wg.Wait()
+	r.close()
+
+	const total = producers * perProducer
+	if got := r.sseen.Load() + r.drops.Load(); got != total {
+		t.Fatalf("absorbed %d + dropped %d = %d, want %d observations settled",
+			r.sseen.Load(), r.drops.Load(), got, total)
+	}
+	if n := r.queue.Len(); n != 0 {
+		t.Fatalf("close left %d observations queued", n)
+	}
+	if len(r.pending) != 0 {
+		t.Fatalf("close left %d observations pending", len(r.pending))
+	}
+	// Absorbed observations all landed in the index: index mass equals
+	// sseen (no decay configured).
+	var absorbed float64
+	r.sidx.Range(func(_ core.PairKey, v float64) bool {
+		absorbed += v
+		return true
+	})
+	if int64(absorbed) != r.sseen.Load() {
+		t.Fatalf("index mass %v, sseen %d", absorbed, r.sseen.Load())
+	}
+}
