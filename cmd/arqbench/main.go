@@ -530,6 +530,42 @@ func recovery() {
 		rec("recovery", r.Name, m)
 	}
 	emit(t)
+
+	// The process-restart A/B (internal/chaos): a crashed strict-assoc
+	// node comes back empty (cold) or restored from its codec-round-
+	// tripped rule snapshot (warm); the queries-to-recover gap is what
+	// the servent's checkpoint subsystem buys.
+	rcfg := chaos.RecoveryConfig{Seed: *seed + 901, Nodes: 300, Warm: 3000}
+	if *quick {
+		rcfg.Nodes, rcfg.Warm = 150, 1500
+	}
+	rres, err := chaos.RunRecovery(rcfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arqbench:", err)
+		os.Exit(1)
+	}
+	rt := metrics.NewTable(fmt.Sprintf("Process restart A/B — %d nodes, %.0f%% crashed, strict two-phase deployment (ρ = rule-phase success per %d-query window)",
+		rcfg.Nodes, 100*rres.Cfg.CrashFrac, rres.Cfg.Window),
+		"arm", "pre-crash ρ", "first window", "queries to recover", "final ρ", "restored rules")
+	for _, a := range rres.Arms {
+		recLabel := "never"
+		if a.QueriesToRecover >= 0 {
+			recLabel = fmt.Sprintf("%d", a.QueriesToRecover)
+		}
+		rt.AddRow("restart_"+a.Name, a.PreSuccess, fmt.Sprintf("%.3f", a.WindowSuccess[0]),
+			recLabel, fmt.Sprintf("%.3f", a.FinalSuccess), fmt.Sprintf("%d", a.RestoredRules))
+		m := map[string]float64{
+			"pre_success":    a.PreSuccess,
+			"final_success":  a.FinalSuccess,
+			"crashed_count":  float64(a.Crashed),
+			"restored_count": float64(a.RestoredRules),
+		}
+		if a.QueriesToRecover >= 0 {
+			m["queries_to_recover"] = float64(a.QueriesToRecover)
+		}
+		rec("recovery", "restart_"+a.Name, m)
+	}
+	emit(rt)
 }
 
 // network runs the message-level deployment comparison (the traffic-

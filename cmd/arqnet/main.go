@@ -119,9 +119,10 @@ func main() {
 // runChaos drives the seeded chaos soak (internal/chaos): clean /
 // faulted / republished phases on the association-routing overlay, with
 // and without the staleness fallback, plus the deterministic DropRing
-// shed drill. The output carries no timings and no map-ordered
-// iteration, so identical flags print identical bytes — CI runs this
-// twice and diffs (the chaos-smoke job).
+// shed drill and the process-recovery A/B (no restart vs cold vs warm
+// restart from codec-round-tripped rule snapshots). The output carries
+// no timings and no map-ordered iteration, so identical flags print
+// identical bytes — CI runs this twice and diffs (the chaos-smoke job).
 func runChaos() {
 	res := chaos.Soak(chaos.Config{
 		Seed: *seed, Nodes: *nodes, Warm: *warm, Queries: *nq, TTL: *ttl,
@@ -131,6 +132,14 @@ func runChaos() {
 	for _, d := range chaos.ShedDrill(*seed, 4096) {
 		fmt.Printf("  %-40s %+d\n", d.Name, d.Delta)
 	}
+	rec, err := chaos.RunRecovery(chaos.RecoveryConfig{
+		Seed: *seed, Nodes: *nodes, Warm: *warm, TTL: *ttl,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "arqnet:", err)
+		os.Exit(1)
+	}
+	fmt.Print(rec.Format())
 }
 
 // assocCfg is the deployment association-router config with the -shards

@@ -28,6 +28,8 @@ var (
 	bootstrap  = flag.String("bootstrap", "", "comma-separated peer addresses to dial in -listen mode")
 	nodeID     = flag.Int("nodeid", 0, "this node's id in -listen mode (drives its deterministic library)")
 	freeRiders = flag.Float64("freeriders", 0, "netcluster: fraction of nodes sharing nothing (scenario free-rider marking)")
+	restartID  = flag.Int("restart", -1, "netcluster: kill this node mid-workload and re-exec it on the same id/addr (the self-healing drill)")
+	checkpoint = flag.Bool("checkpoint", false, "netcluster: persist rule snapshots per node so a restarted node warm-starts")
 )
 
 // runNetCluster drives cluster.Run with the shared workload flags and
@@ -42,6 +44,9 @@ func runNetCluster() {
 		Dir:           *logDir,
 		FreeRiderFrac: *freeRiders,
 		LearnBatch:    *batch,
+		Restart:       *restartID >= 0,
+		RestartNode:   *restartID,
+		Checkpoint:    *checkpoint,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "arqnet:", err)
@@ -53,6 +58,10 @@ func runNetCluster() {
 	fmt.Printf("  throughput   %.0f msgs/s in (measured phase %.2fs)\n", res.MsgsPerSec, float64(res.DurationNS)/1e9)
 	fmt.Printf("  transport    in %d out %d msgs, %d/%d bytes, %d dials, %d accept errors, %d sheds\n",
 		res.MsgsIn, res.MsgsOut, res.BytesIn, res.BytesOut, res.Dials, res.AcceptErrs, res.QueueSheds)
+	if *restartID >= 0 {
+		fmt.Printf("  recovery     node %d killed and re-execed: %d supervised reconnects, %d rules warm-restored\n",
+			*restartID, res.Reconnects, res.RestoredRules)
+	}
 	if res.LeakedGoroutines > 0 {
 		fmt.Fprintf(os.Stderr, "arqnet: %d goroutines leaked across the cluster\n", res.LeakedGoroutines)
 		os.Exit(1)

@@ -73,6 +73,22 @@ type NodeConfig struct {
 	// LearnBatch sets the rule server's batched learn plane
 	// (vantage.RuleConfig.Batch); 0 keeps the per-observation learner.
 	LearnBatch int `json:"learn_batch,omitempty"`
+	// ListenAddr pins the node to a concrete address instead of
+	// 127.0.0.1:0 — how a restarted node comes back where its peers'
+	// supervisors are redialing.
+	ListenAddr string `json:"listen_addr,omitempty"`
+	// CheckpointDir enables rule-snapshot persistence (and warm restart
+	// after a crash) under this directory.
+	CheckpointDir string `json:"checkpoint_dir,omitempty"`
+	// Restarted marks a re-execed incarnation: the warm phase is skipped
+	// (its barrier files already exist) and, with a CheckpointDir, the
+	// node warm-starts from the latest checkpoint once its links are up.
+	Restarted bool `json:"restarted,omitempty"`
+	// QueryGapMS paces the measured loop (sleep between queries). On a
+	// loopback cluster the whole phase otherwise finishes in tens of
+	// milliseconds — the restart drill needs it to still be running when
+	// the kill lands.
+	QueryGapMS int `json:"query_gap_ms,omitempty"`
 }
 
 // plan derives the node's scenario plan; every child computes the same
@@ -97,6 +113,11 @@ type NodeResult struct {
 	// Whole-process lifecycle counters.
 	Dials        int64 `json:"dials"`
 	AcceptErrors int64 `json:"accept_errors"`
+	// Reconnects counts supervised redials that re-established a link;
+	// RestoredRules is how many rules a warm restart seeded (both 0 on a
+	// node that never lost a peer or never restarted).
+	Reconnects    int64 `json:"reconnects,omitempty"`
+	RestoredRules int   `json:"restored_rules,omitempty"`
 	// LeakedGoroutines is how many goroutines remained above the
 	// process baseline after the servent closed (0 = clean).
 	LeakedGoroutines int `json:"leaked_goroutines"`
@@ -129,6 +150,19 @@ type Config struct {
 	// LearnBatch sets each node's batched learn plane
 	// (vantage.RuleConfig.Batch); 0 keeps the per-observation learner.
 	LearnBatch int
+	// Restart, when true, runs the kill/restart drill: once every node
+	// is measuring, RestartNode is killed, its stale result discarded,
+	// and it is re-execed with the same id, listen address, and
+	// checkpoint dir; peer supervisors redial it and the run completes
+	// with zero manual intervention.
+	Restart     bool
+	RestartNode int
+	// RestartDelay is how long after the measurement barrier the kill
+	// lands (0 = 150ms), placing it mid-workload.
+	RestartDelay time.Duration
+	// Checkpoint gives every node a checkpoint dir under the rendezvous
+	// dir, so a restarted node warm-starts instead of re-learning.
+	Checkpoint bool
 }
 
 // Result aggregates the cluster run for reporting.
@@ -151,6 +185,8 @@ type Result struct {
 	MsgsPerSec       float64
 	DurationNS       int64
 	LeakedGoroutines int
+	Reconnects       int64
+	RestoredRules    int
 	PerNode          []NodeResult
 }
 
@@ -238,15 +274,29 @@ func runNode(cfg NodeConfig) error {
 	if cfg.LearnBatch > 0 {
 		rules.Batch = cfg.LearnBatch
 	}
-	s, err := vantage.Listen("127.0.0.1:0", vantage.Options{
+	listenAddr := "127.0.0.1:0"
+	if cfg.ListenAddr != "" {
+		listenAddr = cfg.ListenAddr
+	}
+	opts := vantage.Options{
 		Rules: &rules,
 		Net: &transport.Options{
 			NodeID:    cfg.ID,
 			OutboxCap: cfg.OutboxCap,
 			Shed:      transport.ShedDeadline,
 			ReadIdle:  30 * time.Second,
+			// Liveness probing catches a silently dead peer in ~2s —
+			// detection, not the 30s idle reap, wakes the supervisor.
+			HeartbeatEvery: 500 * time.Millisecond,
 		},
-	})
+	}
+	if cfg.CheckpointDir != "" {
+		// A tight cadence (vs the library default of 16): a SIGKILL'd node
+		// never writes the graceful final checkpoint, so the background
+		// ones are all a short-lived incarnation leaves behind.
+		opts.Checkpoint = &vantage.CheckpointConfig{Dir: cfg.CheckpointDir, EveryVersions: 4}
+	}
+	s, err := vantage.Listen(listenAddr, opts)
 	if err != nil {
 		return err
 	}
@@ -265,7 +315,7 @@ func runNode(cfg NodeConfig) error {
 		if err != nil {
 			return err
 		}
-		if err := s.ConnectTo(string(b)); err != nil {
+		if err := s.SuperviseTo(string(b)); err != nil {
 			return fmt.Errorf("dial node %d: %w", p, err)
 		}
 	}
@@ -278,13 +328,46 @@ func runNode(cfg NodeConfig) error {
 
 	r := rand.New(rand.NewSource(cfg.Seed + int64(cfg.ID)*7919))
 	qt := time.Duration(cfg.QueryTimeoutMS) * time.Millisecond
-	for i := 0; i < cfg.Warm; i++ {
-		_, _ = s.Search(plan.SearchString(plan.PickTopic(r, cfg.ID)), byte(cfg.TTL), qt)
+	restored := 0
+	if cfg.Restarted {
+		// A re-execed incarnation skips the warm phase (its barriers are
+		// long passed) and instead recovers state: wait for the peers'
+		// supervisors to redial us — the warm-start remap can only land
+		// rules on connections that exist — then seed from the latest
+		// checkpoint.
+		if cfg.CheckpointDir != "" {
+			degree := len(plan.Neighbours(cfg.ID))
+			for p := 0; p < cfg.N; p++ {
+				if p == cfg.ID {
+					continue
+				}
+				for _, q := range plan.Neighbours(p) {
+					if q == cfg.ID {
+						degree++
+					}
+				}
+			}
+			for end := time.Now().Add(5 * time.Second); s.NumConns() < degree && time.Now().Before(end); {
+				time.Sleep(5 * time.Millisecond)
+			}
+			if restored, err = s.WarmStart(); err != nil {
+				return fmt.Errorf("warm start: %w", err)
+			}
+		}
+	} else {
+		for i := 0; i < cfg.Warm; i++ {
+			_, _ = s.Search(plan.SearchString(plan.PickTopic(r, cfg.ID)), byte(cfg.TTL), qt)
+		}
 	}
 	if err := writeMark(cfg.Dir, "warm", cfg.ID, nil); err != nil {
 		return err
 	}
 	if err := awaitFiles(cfg.Dir, "warm", cfg.N, deadline); err != nil {
+		return err
+	}
+	// The meas mark tells the parent every node is in (or entering) its
+	// measured loop — the restart drill's kill is timed off this barrier.
+	if err := writeMark(cfg.Dir, "meas", cfg.ID, nil); err != nil {
 		return err
 	}
 
@@ -303,6 +386,9 @@ func runNode(cfg NodeConfig) error {
 			res.LatenciesNS = append(res.LatenciesNS, ns)
 			mQueryNS.Observe(ns)
 		}
+		if cfg.QueryGapMS > 0 {
+			time.Sleep(time.Duration(cfg.QueryGapMS) * time.Millisecond)
+		}
 	}
 	res.DurationNS = time.Since(start).Nanoseconds()
 	res.MsgsIn = obsv.GetCounter("transport.msgs_in").Value() - in0
@@ -312,6 +398,8 @@ func runNode(cfg NodeConfig) error {
 	res.QueueSheds = obsv.GetCounter("transport.queue_sheds").Value() - sheds0
 	res.Dials = obsv.GetCounter("transport.dials").Value()
 	res.AcceptErrors = obsv.GetCounter("transport.accept_errors").Value()
+	res.Reconnects = obsv.GetCounter("transport.reconnects").Value()
+	res.RestoredRules = restored
 
 	body, err := json.Marshal(&res)
 	if err != nil {
@@ -391,7 +479,7 @@ func Run(cfg Config) (*Result, error) {
 			}
 		}
 	}()
-	for i := 0; i < cfg.N; i++ {
+	makeNode := func(i int) NodeConfig {
 		nc := NodeConfig{
 			ID: i, N: cfg.N, Dir: dir,
 			Warm: cfg.Warm, Queries: cfg.Queries, TTL: cfg.TTL, Seed: cfg.Seed,
@@ -399,22 +487,83 @@ func Run(cfg Config) (*Result, error) {
 			FreeRiderFrac:  cfg.FreeRiderFrac,
 			LearnBatch:     cfg.LearnBatch,
 		}
+		if cfg.Checkpoint {
+			nc.CheckpointDir = filepath.Join(dir, fmt.Sprintf("ckpt.%d", i))
+		}
+		if cfg.Restart {
+			// Pace the measured loop so the kill lands mid-workload and the
+			// survivors (parked at the result barrier afterwards) are still
+			// holding their sockets open when the victim comes back.
+			nc.QueryGapMS = 10
+		}
+		return nc
+	}
+	startChild := func(nc NodeConfig, logName string) (*exec.Cmd, *os.File, error) {
+		if nc.CheckpointDir != "" {
+			if err := os.MkdirAll(nc.CheckpointDir, 0o755); err != nil {
+				return nil, nil, err
+			}
+		}
 		raw, err := json.Marshal(&nc)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		lf, err := os.Create(filepath.Join(dir, fmt.Sprintf("node.%d.log", i)))
+		lf, err := os.Create(filepath.Join(dir, logName))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		logs[i] = lf
 		c := exec.Command(bin)
 		c.Env = append(os.Environ(), ChildEnv+"="+string(raw))
 		c.Stdout, c.Stderr = lf, lf
 		if err := c.Start(); err != nil {
-			return nil, fmt.Errorf("cluster: start node %d: %w", i, err)
+			lf.Close()
+			return nil, nil, fmt.Errorf("cluster: start node %d: %w", nc.ID, err)
 		}
-		cmds[i] = c
+		return c, lf, nil
+	}
+	for i := 0; i < cfg.N; i++ {
+		c, lf, err := startChild(makeNode(i), fmt.Sprintf("node.%d.log", i))
+		if err != nil {
+			return nil, err
+		}
+		cmds[i], logs[i] = c, lf
+	}
+
+	if cfg.Restart {
+		k := cfg.RestartNode
+		if k < 0 || k >= cfg.N {
+			return nil, fmt.Errorf("cluster: restart node %d out of range", k)
+		}
+		// Kill mid-workload: once every node is measuring, give the
+		// cluster a moment of load, then take node k down hard.
+		deadline := time.Now().Add(cfg.Timeout)
+		if err := awaitFiles(dir, "meas", cfg.N, deadline); err != nil {
+			return nil, err
+		}
+		delay := cfg.RestartDelay
+		if delay <= 0 {
+			delay = 150 * time.Millisecond
+		}
+		time.Sleep(delay)
+		_ = cmds[k].Process.Kill()
+		_ = cmds[k].Wait()
+		// A stale result from a too-fast measurement phase must not
+		// satisfy the peers' result barrier on the old incarnation's
+		// behalf; the restarted node writes the real one.
+		_ = os.Remove(filepath.Join(dir, fmt.Sprintf("result.%d", k)))
+		addr, err := os.ReadFile(filepath.Join(dir, fmt.Sprintf("addr.%d", k)))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: restart node %d: %w", k, err)
+		}
+		nc := makeNode(k)
+		nc.ListenAddr = string(addr)
+		nc.Restarted = true
+		c, lf, err := startChild(nc, fmt.Sprintf("node.%d.restart.log", k))
+		if err != nil {
+			return nil, err
+		}
+		logs = append(logs, lf)
+		cmds[k] = c
 	}
 
 	waitErr := make(chan error, 1)
@@ -462,6 +611,8 @@ func Run(cfg Config) (*Result, error) {
 		res.Dials += nr.Dials
 		res.AcceptErrs += nr.AcceptErrors
 		res.LeakedGoroutines += nr.LeakedGoroutines
+		res.Reconnects += nr.Reconnects
+		res.RestoredRules += nr.RestoredRules
 		all = append(all, nr.LatenciesNS...)
 		if nr.DurationNS > maxDur {
 			maxDur = nr.DurationNS

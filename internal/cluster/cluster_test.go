@@ -83,6 +83,36 @@ func TestClusterRunThreeProcesses(t *testing.T) {
 		t.Fatalf("transport counters empty: %+v", res)
 	}
 	if res.P99NS <= 0 || res.P50NS > res.P99NS {
-		t.Fatalf("latency quantiles inconsistent: p50 %d, p99 %d", res.P50NS, res.P99NS)
+		t.Fatalf("latency quantiles inconsistent: p50 %d, p99 %d", res.P99NS, res.P99NS)
+	}
+}
+
+// The kill/restart drill: node 1 is killed mid-measurement and re-execed
+// on the same id/addr/checkpoint dir. Peer supervisors must redial it,
+// the restarted incarnation must warm-start from its checkpoint, and the
+// run must still clear the no-faults success bar with zero manual
+// intervention.
+func TestClusterKillRestartRecovers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns processes")
+	}
+	res, err := Run(Config{
+		N: 3, Warm: 30, Queries: 60, Seed: 7, Timeout: 90 * time.Second,
+		Restart: true, RestartNode: 1, Checkpoint: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SuccessRate < 0.9 {
+		t.Fatalf("success rate %.3f after kill+restart, want >= 0.9", res.SuccessRate)
+	}
+	if res.Reconnects == 0 {
+		t.Fatal("no supervised reconnects recorded across the cluster")
+	}
+	if res.RestoredRules == 0 {
+		t.Fatal("restarted node warm-started zero rules")
+	}
+	if res.LeakedGoroutines > 0 {
+		t.Fatalf("%d goroutines leaked across children", res.LeakedGoroutines)
 	}
 }

@@ -50,6 +50,28 @@ var emptySnapshot = &RuleSnapshot{
 	conseq:  map[trace.HostID][]trace.HostID{},
 }
 
+// buildConseq derives the per-antecedent consequent lists from a support
+// table, sorted by descending support with HostID ascending as the
+// deterministic tiebreak — the one canonical ordering every snapshot
+// producer (Publish, the codec decoder, RemapSnapshot) shares.
+func buildConseq(support map[PairKey]float64) map[trace.HostID][]trace.HostID {
+	conseq := make(map[trace.HostID][]trace.HostID)
+	for k := range support {
+		conseq[k.Source()] = append(conseq[k.Source()], k.Replier())
+	}
+	for src, list := range conseq {
+		src := src
+		sort.Slice(list, func(i, j int) bool {
+			si, sj := support[PackPair(src, list[i])], support[PackPair(src, list[j])]
+			if si != sj {
+				return si > sj
+			}
+			return list[i] < list[j]
+		})
+	}
+	return conseq
+}
+
 // Version returns the snapshot's publication sequence number (0 for the
 // pre-first-publish empty snapshot).
 func (s *RuleSnapshot) Version() uint64 { return s.version }
@@ -299,25 +321,14 @@ func (p *Publisher) Publish() *RuleSnapshot {
 		version: p.version,
 		at:      time.Now().UnixNano(),
 		support: make(map[PairKey]float64),
-		conseq:  make(map[trace.HostID][]trace.HostID),
 	}
 	p.src.Range(func(k PairKey, v float64) bool {
 		if v >= p.cfg.MinSupport {
 			s.support[k] = v
-			s.conseq[k.Source()] = append(s.conseq[k.Source()], k.Replier())
 		}
 		return true
 	})
-	for src, list := range s.conseq {
-		src := src
-		sort.Slice(list, func(i, j int) bool {
-			si, sj := s.support[PackPair(src, list[i])], s.support[PackPair(src, list[j])]
-			if si != sj {
-				return si > sj
-			}
-			return list[i] < list[j]
-		})
-	}
+	s.conseq = buildConseq(s.support)
 	p.cur.Store(s)
 	p.obsSince.Store(0)
 	p.crossAt.Store(p.src.Crossings())

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"arq/internal/trace"
+)
+
+// This file is the persistence half of the snapshot lifecycle: a
+// versioned binary codec over RuleSnapshot plus Publisher.Restore, which
+// seeds a learn plane from a decoded snapshot at discounted support. A
+// servent that checkpoints its published snapshot to disk can warm-start
+// after a crash instead of re-learning from zero, and the same
+// encode/remap/restore primitives are the merge half of snapshot
+// federation (see ROADMAP): a restored snapshot is just a remote one with
+// discount applied.
+
+// snapshotMagic prefixes every encoded snapshot.
+const snapshotMagic = "ARQS"
+
+// SnapshotCodecVersion is the current wire version of the snapshot
+// encoding. Decoders reject anything newer.
+const SnapshotCodecVersion = 1
+
+// MaxSnapshotRules bounds how many rules UnmarshalSnapshot will accept —
+// a corrupt or hostile length field fails fast instead of allocating.
+const MaxSnapshotRules = 1 << 22
+
+// snapshotHeaderLen is magic + codec version + snapshot version +
+// publish time + rule count.
+const snapshotHeaderLen = 4 + 2 + 8 + 8 + 4
+
+// Marshal encodes the snapshot deterministically: a fixed header
+// (magic, codec version, snapshot version, publish time, rule count)
+// followed by (PairKey, support) records sorted by PairKey. Equal
+// snapshots always produce identical bytes, so checkpoints can be
+// compared and deduplicated byte-wise.
+func (s *RuleSnapshot) Marshal() []byte {
+	keys := make([]PairKey, 0, len(s.support))
+	for k := range s.support {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	out := make([]byte, 0, snapshotHeaderLen+16*len(keys))
+	out = append(out, snapshotMagic...)
+	out = binary.LittleEndian.AppendUint16(out, SnapshotCodecVersion)
+	out = binary.LittleEndian.AppendUint64(out, s.version)
+	out = binary.LittleEndian.AppendUint64(out, uint64(s.at))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(keys)))
+	for _, k := range keys {
+		out = binary.LittleEndian.AppendUint64(out, uint64(k))
+		out = binary.LittleEndian.AppendUint64(out, math.Float64bits(s.support[k]))
+	}
+	return out
+}
+
+// UnmarshalSnapshot decodes a snapshot produced by Marshal, validating
+// the header, the exact payload length, strictly increasing keys (the
+// canonical-encoding invariant), and finite positive supports. The
+// consequent lists are rebuilt with the same ordering Publish uses, so a
+// decoded snapshot serves routing decisions identical to the original.
+func UnmarshalSnapshot(p []byte) (*RuleSnapshot, error) {
+	if len(p) < snapshotHeaderLen {
+		return nil, errors.New("core: snapshot too short")
+	}
+	if string(p[:4]) != snapshotMagic {
+		return nil, errors.New("core: snapshot magic mismatch")
+	}
+	if v := binary.LittleEndian.Uint16(p[4:]); v != SnapshotCodecVersion {
+		return nil, fmt.Errorf("core: snapshot codec version %d unsupported", v)
+	}
+	version := binary.LittleEndian.Uint64(p[6:])
+	at := int64(binary.LittleEndian.Uint64(p[14:]))
+	n := binary.LittleEndian.Uint32(p[22:])
+	if n > MaxSnapshotRules {
+		return nil, fmt.Errorf("core: snapshot claims %d rules", n)
+	}
+	if len(p) != snapshotHeaderLen+16*int(n) {
+		return nil, errors.New("core: snapshot length mismatch")
+	}
+	s := &RuleSnapshot{
+		version: version,
+		at:      at,
+		support: make(map[PairKey]float64, n),
+	}
+	prev, first := PairKey(0), true
+	for i := 0; i < int(n); i++ {
+		rec := p[snapshotHeaderLen+16*i:]
+		k := PairKey(binary.LittleEndian.Uint64(rec))
+		sup := math.Float64frombits(binary.LittleEndian.Uint64(rec[8:]))
+		if !first && k <= prev {
+			return nil, errors.New("core: snapshot keys not strictly increasing")
+		}
+		if math.IsNaN(sup) || math.IsInf(sup, 0) || sup <= 0 {
+			return nil, fmt.Errorf("core: snapshot support %v out of range", sup)
+		}
+		s.support[k] = sup
+		prev, first = k, false
+	}
+	s.conseq = buildConseq(s.support)
+	return s, nil
+}
+
+// RemapSnapshot rebuilds a snapshot under a host-id translation: every
+// pair has both ends mapped through f, pairs with an unmapped end are
+// dropped, and pairs that collide after mapping merge by summing their
+// supports. Version and publish time carry over. This is how conn-keyed
+// rules persist across a restart (conn ids -> node ids on checkpoint,
+// node ids -> re-established conn ids on warm start) and how federated
+// snapshots translate between id universes.
+func RemapSnapshot(s *RuleSnapshot, f func(trace.HostID) (trace.HostID, bool)) *RuleSnapshot {
+	out := &RuleSnapshot{
+		version: s.version,
+		at:      s.at,
+		support: make(map[PairKey]float64, len(s.support)),
+	}
+	for k, sup := range s.support {
+		src, ok := f(k.Source())
+		if !ok {
+			continue
+		}
+		rep, ok := f(k.Replier())
+		if !ok {
+			continue
+		}
+		out.support[PackPair(src, rep)] += sup
+	}
+	out.conseq = buildConseq(out.support)
+	return out
+}
+
+// pairSeeder is the write-side contract Restore needs from a learn-plane
+// index: a weighted support add. Both PairIndex and ShardedPairIndex
+// satisfy it.
+type pairSeeder interface {
+	Add(src, rep trace.HostID, w float64)
+}
+
+// Restore seeds the publisher's learn plane from a persisted snapshot at
+// discounted support and publishes the result. Each rule's support is
+// added (not overwritten) at s.Support * discount, so restoring into a
+// live index merges rather than clobbers — the same primitive a
+// federation merge needs. discount outside (0, 1] is treated as 1.
+// Restored rules whose discounted support falls below the activation
+// threshold land in the index but not in the published snapshot: a
+// marginal rule does not survive a restart, by design.
+//
+// The publisher's version is first raised to at least the snapshot's, so
+// the post-restore publish is strictly newer than both the restored
+// snapshot and anything published before — version monotonicity holds
+// across restarts.
+func (p *Publisher) Restore(s *RuleSnapshot, discount float64) (*RuleSnapshot, error) {
+	seeder, ok := p.src.(pairSeeder)
+	if !ok {
+		return nil, errors.New("core: learn plane does not support restore seeding")
+	}
+	if s == nil {
+		s = emptySnapshot
+	}
+	if discount <= 0 || discount > 1 {
+		discount = 1
+	}
+	// Seed in sorted key order so restore is deterministic even on learn
+	// planes whose internal bookkeeping is order-sensitive.
+	keys := make([]PairKey, 0, len(s.support))
+	for k := range s.support {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		seeder.Add(k.Source(), k.Replier(), s.support[k]*discount)
+	}
+	p.pmu.Lock()
+	if s.version > p.version {
+		p.version = s.version
+	}
+	p.pmu.Unlock()
+	return p.Publish(), nil
+}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"arq/internal/trace"
+)
+
+// publishedSnapshot builds a decay index with the given weighted pairs
+// and publishes once, returning the publisher and its snapshot.
+func publishedSnapshot(t *testing.T, threshold float64, add func(idx *PairIndex)) (*Publisher, *RuleSnapshot) {
+	t.Helper()
+	idx := NewDecayIndex(threshold)
+	add(idx)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishEpoch, Epoch: 1 << 30})
+	return p, p.Publish()
+}
+
+func TestSnapshotRoundtrip(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) {
+		idx.Add(1, 2, 5)
+		idx.Add(1, 3, 3)
+		idx.Add(1, 4, 3) // ties with 1->3: HostID tiebreak must survive decode
+		idx.Add(7, 2, 9)
+		idx.Add(2, 7, 1.5)
+	})
+	b := s.Marshal()
+	got, err := UnmarshalSnapshot(b)
+	if err != nil {
+		t.Fatalf("UnmarshalSnapshot: %v", err)
+	}
+	if got.Version() != s.Version() || got.at != s.at || got.Len() != s.Len() {
+		t.Fatalf("header mismatch: got (v%d at%d n%d) want (v%d at%d n%d)",
+			got.Version(), got.at, got.Len(), s.Version(), s.at, s.Len())
+	}
+	// Byte-identical views: re-encoding the decoded snapshot must
+	// reproduce the original bytes exactly.
+	if !bytes.Equal(got.Marshal(), b) {
+		t.Fatal("re-marshal of decoded snapshot differs from original bytes")
+	}
+	// The derived consequent ordering must match the publish-time one.
+	for _, src := range []trace.HostID{1, 2, 7, 99} {
+		want := s.Consequents(src, 0)
+		have := got.Consequents(src, 0)
+		if len(want) != len(have) {
+			t.Fatalf("conseq[%d]: got %v want %v", src, have, want)
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Fatalf("conseq[%d]: got %v want %v", src, have, want)
+			}
+		}
+	}
+}
+
+func TestSnapshotMarshalDeterministic(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) {
+		for i := 0; i < 64; i++ {
+			idx.Add(trace.HostID(i%8+1), trace.HostID(i%5+10), float64(i%7)+1)
+		}
+	})
+	a, b := s.Marshal(), s.Marshal()
+	if !bytes.Equal(a, b) {
+		t.Fatal("two Marshal calls on one snapshot produced different bytes")
+	}
+}
+
+func TestSnapshotEmptyRoundtrip(t *testing.T) {
+	// The package-level pre-first-publish snapshot.
+	b := emptySnapshot.Marshal()
+	got, err := UnmarshalSnapshot(b)
+	if err != nil {
+		t.Fatalf("UnmarshalSnapshot(emptySnapshot): %v", err)
+	}
+	if got.Version() != 0 || got.Len() != 0 {
+		t.Fatalf("decoded empty snapshot: v%d n%d", got.Version(), got.Len())
+	}
+	if got.Covers(1) || got.Matches(1, 2) {
+		t.Fatal("decoded empty snapshot claims rules")
+	}
+
+	// A published-but-empty snapshot keeps its nonzero version.
+	_, s := publishedSnapshot(t, 100, func(idx *PairIndex) { idx.Add(1, 2, 1) })
+	got, err = UnmarshalSnapshot(s.Marshal())
+	if err != nil {
+		t.Fatalf("UnmarshalSnapshot(published empty): %v", err)
+	}
+	if got.Version() != 1 || got.Len() != 0 {
+		t.Fatalf("published empty snapshot decoded as v%d n%d, want v1 n0", got.Version(), got.Len())
+	}
+}
+
+func TestUnmarshalSnapshotRejectsCorrupt(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) {
+		idx.Add(1, 2, 5)
+		idx.Add(3, 4, 2)
+	})
+	good := s.Marshal()
+
+	corrupt := func(name string, mutate func(b []byte) []byte) {
+		b := mutate(append([]byte(nil), good...))
+		if _, err := UnmarshalSnapshot(b); err == nil {
+			t.Errorf("%s: decode accepted corrupt snapshot", name)
+		}
+	}
+	corrupt("truncated header", func(b []byte) []byte { return b[:10] })
+	corrupt("truncated payload", func(b []byte) []byte { return b[:len(b)-1] })
+	corrupt("trailing bytes", func(b []byte) []byte { return append(b, 0) })
+	corrupt("bad magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("future codec version", func(b []byte) []byte {
+		binary.LittleEndian.PutUint16(b[4:], SnapshotCodecVersion+1)
+		return b
+	})
+	corrupt("hostile count", func(b []byte) []byte {
+		binary.LittleEndian.PutUint32(b[22:], MaxSnapshotRules+1)
+		return b
+	})
+	corrupt("duplicate key", func(b []byte) []byte {
+		copy(b[snapshotHeaderLen+16:], b[snapshotHeaderLen:snapshotHeaderLen+8])
+		return b
+	})
+	corrupt("descending keys", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[snapshotHeaderLen+16:], 0)
+		return b
+	})
+	corrupt("NaN support", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[snapshotHeaderLen+8:], math.Float64bits(math.NaN()))
+		return b
+	})
+	corrupt("negative support", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[snapshotHeaderLen+8:], math.Float64bits(-1))
+		return b
+	})
+	corrupt("zero support", func(b []byte) []byte {
+		binary.LittleEndian.PutUint64(b[snapshotHeaderLen+8:], math.Float64bits(0))
+		return b
+	})
+}
+
+func TestRestoreSeedsDiscounted(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) {
+		idx.Add(1, 2, 8)
+		idx.Add(3, 4, 1.5) // marginal: 1.5 * 0.5 < threshold, must not survive
+	})
+
+	idx2 := NewDecayIndex(1)
+	p2 := NewPublisher(idx2, PublisherConfig{Policy: PublishEpoch, Epoch: 1 << 30})
+	out, err := p2.Restore(s, 0.5)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := out.Support(1, 2); got != 4 {
+		t.Fatalf("restored support(1,2) = %v, want 4 (8 discounted by 0.5)", got)
+	}
+	if out.Matches(3, 4) {
+		t.Fatal("marginal rule survived restore below threshold")
+	}
+	if p2.View() != out {
+		t.Fatal("Restore did not publish the restored snapshot")
+	}
+}
+
+func TestRestoreMergesIntoLiveIndex(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) { idx.Add(1, 2, 6) })
+
+	idx2 := NewDecayIndex(1)
+	idx2.Add(1, 2, 4) // live state the restore must merge with, not clobber
+	p2 := NewPublisher(idx2, PublisherConfig{Policy: PublishEpoch, Epoch: 1 << 30})
+	out, err := p2.Restore(s, 1)
+	if err != nil {
+		t.Fatalf("Restore: %v", err)
+	}
+	if got := out.Support(1, 2); got != 10 {
+		t.Fatalf("merged support(1,2) = %v, want 10 (4 live + 6 restored)", got)
+	}
+}
+
+func TestRestoreVersionMonotone(t *testing.T) {
+	// Restoring an old snapshot into a newer publisher must not roll the
+	// version back; restoring a newer snapshot must advance past it.
+	pHigh, _ := publishedSnapshot(t, 1, func(idx *PairIndex) { idx.Add(1, 2, 5) })
+	for i := 0; i < 9; i++ {
+		pHigh.Publish() // version now 10
+	}
+	_, sLow := publishedSnapshot(t, 1, func(idx *PairIndex) { idx.Add(5, 6, 5) }) // version 1
+	out, err := pHigh.Restore(sLow, 1)
+	if err != nil {
+		t.Fatalf("Restore(old snapshot): %v", err)
+	}
+	if out.Version() != 11 {
+		t.Fatalf("restore of old snapshot published v%d, want v11", out.Version())
+	}
+
+	pFresh, _ := publishedSnapshot(t, 1, func(idx *PairIndex) { idx.Add(7, 8, 5) })
+	sHigh := pHigh.View() // version 11
+	out, err = pFresh.Restore(sHigh, 1)
+	if err != nil {
+		t.Fatalf("Restore(new snapshot): %v", err)
+	}
+	if out.Version() <= sHigh.Version() {
+		t.Fatalf("restore published v%d, not newer than restored v%d", out.Version(), sHigh.Version())
+	}
+}
+
+func TestRestoreShardedPublisher(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) {
+		idx.Add(1, 2, 8)
+		idx.Add(2, 3, 4)
+	})
+	sidx := NewShardedDecayIndex(1, 4)
+	p := NewShardedPublisher(sidx, PublisherConfig{Policy: PublishEpoch, Epoch: 1 << 30})
+	out, err := p.Restore(s, 1)
+	if err != nil {
+		t.Fatalf("Restore on sharded publisher: %v", err)
+	}
+	if out.Support(1, 2) != 8 || out.Support(2, 3) != 4 {
+		t.Fatalf("sharded restore lost rules: sup(1,2)=%v sup(2,3)=%v",
+			out.Support(1, 2), out.Support(2, 3))
+	}
+}
+
+func TestRemapSnapshot(t *testing.T) {
+	_, s := publishedSnapshot(t, 1, func(idx *PairIndex) {
+		idx.Add(1, 2, 5)
+		idx.Add(3, 4, 2) // 3 unmapped: dropped
+		idx.Add(5, 6, 3) // collides with 1->2 after mapping: summed
+	})
+	m := map[trace.HostID]trace.HostID{1: 10, 2: 20, 4: 40, 5: 10, 6: 20}
+	out := RemapSnapshot(s, func(h trace.HostID) (trace.HostID, bool) {
+		v, ok := m[h]
+		return v, ok
+	})
+	if out.Version() != s.Version() || out.at != s.at {
+		t.Fatal("remap lost version/time")
+	}
+	if got := out.Support(10, 20); got != 8 {
+		t.Fatalf("remapped support(10,20) = %v, want 8 (5 + 3 merged)", got)
+	}
+	if out.Len() != 1 {
+		t.Fatalf("remapped snapshot has %d rules, want 1", out.Len())
+	}
+	if out.Covers(3) || out.Covers(1) {
+		t.Fatal("remapped snapshot still covers pre-map ids")
+	}
+}
+
+func FuzzSnapshotDecode(f *testing.F) {
+	idx := NewDecayIndex(1)
+	idx.Add(1, 2, 5)
+	idx.Add(1, 3, 2.5)
+	idx.Add(9, 1, 7)
+	p := NewPublisher(idx, PublisherConfig{Policy: PublishEpoch, Epoch: 1 << 30})
+	f.Add(p.Publish().Marshal())
+	f.Add(emptySnapshot.Marshal())
+	f.Add([]byte("ARQS"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSnapshot(data)
+		if err != nil {
+			return
+		}
+		// Accepted input must be exactly the canonical encoding: decode
+		// then re-encode is the identity on bytes.
+		if !bytes.Equal(s.Marshal(), data) {
+			t.Fatalf("accepted non-canonical snapshot: %d bytes re-encode to %d", len(data), len(s.Marshal()))
+		}
+		// Derived state must be internally consistent.
+		n := 0
+		s.Range(func(k PairKey, sup float64) bool {
+			n++
+			if sup <= 0 || math.IsNaN(sup) || math.IsInf(sup, 0) {
+				t.Fatalf("decoded support out of range: %v", sup)
+			}
+			if !s.Matches(k.Source(), k.Replier()) {
+				t.Fatal("Range pair not in Matches")
+			}
+			return true
+		})
+		if n != s.Len() {
+			t.Fatalf("Range saw %d rules, Len says %d", n, s.Len())
+		}
+	})
+}

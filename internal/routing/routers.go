@@ -623,6 +623,27 @@ func (a *Assoc) SnapshotVersion() uint64 {
 	return a.pub.Version()
 }
 
+// Snapshot returns the currently served rule snapshot — the immutable
+// state a checkpoint persists (core.RuleSnapshot.Marshal) and a warm
+// restart feeds back through Restore.
+func (a *Assoc) Snapshot() *core.RuleSnapshot {
+	return a.pub.View()
+}
+
+// Restore seeds the learn plane from a persisted snapshot at discounted
+// support and publishes, returning the restored rule count. Buffered
+// observations are flushed first so the restore merges with — never
+// reorders around — what this router has already learned. See
+// core.Publisher.Restore for the discount and version semantics.
+func (a *Assoc) Restore(s *core.RuleSnapshot, discount float64) (int, error) {
+	a.learn.flush()
+	out, err := a.pub.Restore(s, discount)
+	if err != nil {
+		return 0, err
+	}
+	return out.Len(), nil
+}
+
 // RoutingIndex approximates the compound routing indices of Crespo and
 // Garcia-Molina [10]: each node holds, per neighbor, the number of
 // documents per category reachable through that neighbor within a fixed

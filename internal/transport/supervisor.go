@@ -1,0 +1,173 @@
+package transport
+
+// Self-healing: the connection supervisor and the heartbeat liveness
+// probe. The transport's core treats every connection death as final —
+// a timed-out or errored Conn is reaped and forgotten. Supervise layers
+// intent on top: the caller declares which peers it wants connections
+// to (by advertised listen addr), and the supervisor redials whenever
+// the link dies, with capped jittered exponential backoff so a crashed
+// peer is not hammered and a restarted one is found within a couple of
+// backoff periods. Heartbeats close the detection gap from the other
+// side: an idle connection gets periodic pings with a miss budget, so a
+// silently dead peer is declared dead in a few heartbeat periods
+// instead of waiting out the full ReadIdle reap.
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"arq/internal/wire"
+)
+
+// heartbeatMagic is the GUID every liveness frame carries. Like the
+// hello, it is transport-internal protocol: readLoop answers pings and
+// absorbs pongs without ever involving the Handler.
+var heartbeatMagic = wire.GUID{'A', 'R', 'Q', '-', 'T', 'R', 'A', 'N', 'S', 'P', 'O', 'R', 'T', '-', 'H', 'B'}
+
+// supervised is one desired-peer entry; closing stop retires it.
+type supervised struct {
+	stop chan struct{}
+}
+
+// Supervise dials addr and keeps it dialed: when the connection dies —
+// read timeout, write error, heartbeat miss budget, remote crash — the
+// supervisor redials with capped jittered exponential backoff
+// (Options.RedialBase doubling to RedialMax, full jitter) until the
+// peer answers or the transport closes. Each successful redial counts
+// transport.reconnects and runs OnConn like any dialed connection;
+// failed attempts count transport.reconnect_failures.
+//
+// The initial dial is synchronous and NOT counted as a reconnect: its
+// error is returned and nothing is supervised, so a misconfigured addr
+// fails loudly instead of retrying forever. Supervising the same addr
+// twice is an error; use Unsupervise first.
+func (t *Transport) Supervise(addr string) (*Conn, error) {
+	sp := &supervised{stop: make(chan struct{})}
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil, errors.New("transport: closed")
+	}
+	if _, ok := t.sup[addr]; ok {
+		t.mu.Unlock()
+		return nil, fmt.Errorf("transport: %s already supervised", addr)
+	}
+	t.sup[addr] = sp
+	// Register with the WaitGroup while closed is known false: shutdown
+	// cannot be between its wg.Wait and a later Add.
+	t.wg.Add(1)
+	t.mu.Unlock()
+
+	c, err := t.Dial(addr)
+	if err != nil {
+		t.mu.Lock()
+		delete(t.sup, addr)
+		t.mu.Unlock()
+		t.wg.Done()
+		return nil, err
+	}
+	go t.superviseLoop(addr, sp, c)
+	return c, nil
+}
+
+// Unsupervise stops redialing addr. The current connection, if one is
+// up, stays open — this retires the intent, not the link.
+func (t *Transport) Unsupervise(addr string) {
+	t.mu.Lock()
+	sp, ok := t.sup[addr]
+	if ok {
+		delete(t.sup, addr)
+	}
+	t.mu.Unlock()
+	if ok {
+		close(sp.stop)
+	}
+}
+
+// Supervised returns the currently supervised peer addresses.
+func (t *Transport) Supervised() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.sup))
+	for a := range t.sup {
+		out = append(out, a)
+	}
+	return out
+}
+
+func (t *Transport) superviseLoop(addr string, sp *supervised, c *Conn) {
+	defer t.wg.Done()
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	for {
+		select {
+		case <-c.done:
+		case <-sp.stop:
+			return
+		case <-t.stop:
+			return
+		}
+		backoff := t.opts.RedialBase
+		for {
+			nc, err := t.Dial(addr)
+			if err == nil {
+				mReconnects.Inc()
+				c = nc
+				break
+			}
+			mReconnectFails.Inc()
+			// Full jitter: sleep a uniform fraction of the current
+			// backoff, so a cluster of supervisors redialing one
+			// restarted peer spreads out instead of thundering.
+			select {
+			case <-time.After(time.Duration(rng.Int63n(int64(backoff) + 1))):
+			case <-sp.stop:
+				return
+			case <-t.stop:
+				return
+			}
+			if backoff *= 2; backoff > t.opts.RedialMax {
+				backoff = t.opts.RedialMax
+			}
+		}
+	}
+}
+
+// heartbeatLoop probes an idle connection. Every HeartbeatEvery period
+// with no inbound frame sends a ping (transport.heartbeats); every
+// further silent period after a probe counts a miss
+// (transport.probe_misses); at HeartbeatMisses misses the connection is
+// closed as dead, which is exactly what wakes its supervisor. Any
+// inbound frame — pong or application traffic — resets the budget.
+func (c *Conn) heartbeatLoop() {
+	defer c.t.wg.Done()
+	tick := time.NewTicker(c.t.opts.HeartbeatEvery)
+	defer tick.Stop()
+	misses, probed := 0, false
+	for {
+		select {
+		case <-c.done:
+			return
+		case <-c.t.stop:
+			return
+		case <-tick.C:
+		}
+		idle := time.Since(time.Unix(0, c.lastIn.Load()))
+		if idle < c.t.opts.HeartbeatEvery {
+			misses, probed = 0, false
+			continue
+		}
+		if probed {
+			misses++
+			mProbeMisses.Inc()
+			if misses >= c.t.opts.HeartbeatMisses {
+				c.Close()
+				return
+			}
+		}
+		mHeartbeats.Inc()
+		c.enqueue(outFrame{m: &wire.Message{ID: heartbeatMagic, Type: wire.TypePing, TTL: 1}})
+		probed = true
+	}
+}

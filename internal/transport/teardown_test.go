@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"arq/internal/wire"
+)
+
+// TestAcceptHandshakeStallLeaksNothing pins the accept path against a
+// client that handshakes but never sends its hello: the server-side
+// setup goroutine must time out, close the raw socket, and leave no
+// goroutine, no registered conn, and one handshake_errors count behind.
+func TestAcceptHandshakeStallLeaksNothing(t *testing.T) {
+	hs0 := mHandshakes.Value()
+	open0 := mConnsOpen.Value()
+	g0 := runtime.NumGoroutine()
+
+	tr := listen(t, Options{
+		NodeID: 1, Handler: func(*Conn, *wire.Message) {},
+		HandshakeWait: 100 * time.Millisecond,
+	})
+	nc, err := net.Dial("tcp", tr.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	if err := wire.ClientHandshake(nc); err != nil {
+		t.Fatal(err)
+	}
+	// No hello follows. The server must give up at HandshakeWait and
+	// close the socket under us.
+	_ = nc.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := wire.Decode(nc); err == nil {
+		t.Fatal("server sent a frame to a client that never said hello")
+	}
+
+	waitFor(t, 2*time.Second, func() bool { return mHandshakes.Value() == hs0+1 }, "handshake error count")
+	if tr.NumConns() != 0 || mConnsOpen.Value() != open0 {
+		t.Fatalf("stalled handshake registered a conn: %d live, gauge %d->%d",
+			tr.NumConns(), open0, mConnsOpen.Value())
+	}
+	waitFor(t, 2*time.Second, func() bool { return runtime.NumGoroutine() <= g0+1 }, "setup goroutine exit")
+}
+
+// TestTeardownSettlesWithConnDeadMidRedial drives the full self-healing
+// teardown invariant: a supervised peer dies for good, the supervisor is
+// left redialing into the void, more sends race the dead conn — and
+// after Close, conns_open is back where it started and every attempted
+// frame is accounted for as delivered, shed, discarded, or a write
+// error. Heartbeats stay off so the only outbox traffic is the test's.
+func TestTeardownSettlesWithConnDeadMidRedial(t *testing.T) {
+	out0 := mMsgsOut.Value()
+	sheds0 := mSheds.Value()
+	disc0 := mDiscards.Value()
+	werr0 := mWriteErrs.Value()
+	open0 := mConnsOpen.Value()
+	rfail0 := mReconnectFails.Value()
+
+	var got collect
+	a, err := Listen("127.0.0.1:0", Options{
+		NodeID: 1, Handler: func(*Conn, *wire.Message) {},
+		SendWait: 50 * time.Millisecond, RedialBase: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("127.0.0.1:0", Options{NodeID: 2, Handler: got.handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := a.Supervise(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	attempted := 0
+	for i := 0; i < 40; i++ {
+		c.Send(queryMsg(byte(i)))
+		attempted++
+	}
+	waitFor(t, 2*time.Second, func() bool { return got.count() == 40 }, "pre-crash delivery")
+
+	// The peer dies and never comes back: the supervisor redials into
+	// nothing while the old conn is torn down underneath more sends.
+	b.Close()
+	for i := 0; i < 20; i++ {
+		c.Send(queryMsg(byte(100 + i)))
+		attempted++
+	}
+	waitFor(t, 3*time.Second, func() bool { return mReconnectFails.Value() >= rfail0+2 }, "mid-redial state")
+
+	a.Close()
+	if v := mConnsOpen.Value(); v != open0 {
+		t.Fatalf("transport.conns_open = %d after Close, want %d", v, open0)
+	}
+	settled := func() int64 {
+		return (mMsgsOut.Value() - out0) + (mSheds.Value() - sheds0) +
+			(mDiscards.Value() - disc0) + (mWriteErrs.Value() - werr0)
+	}
+	if got := settled(); got != int64(attempted) {
+		t.Fatalf("attempted %d != delivered+shed+discarded+write_errors %d "+
+			"(out %d sheds %d discards %d werrs %d)", attempted, got,
+			mMsgsOut.Value()-out0, mSheds.Value()-sheds0,
+			mDiscards.Value()-disc0, mWriteErrs.Value()-werr0)
+	}
+}
+
+// TestCloseDrainReturnsConnsOpenToZero pins the gauge across the
+// graceful path too: a drained shutdown with live traffic in flight
+// still returns transport.conns_open to its starting value on both
+// endpoints.
+func TestCloseDrainReturnsConnsOpenToZero(t *testing.T) {
+	open0 := mConnsOpen.Value()
+	var got collect
+	a, err := Listen("127.0.0.1:0", Options{NodeID: 1, Handler: func(*Conn, *wire.Message) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Listen("127.0.0.1:0", Options{NodeID: 2, Handler: got.handle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := a.Dial(b.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		c.Send(queryMsg(byte(i)))
+	}
+	a.CloseDrain(time.Second)
+	waitFor(t, 2*time.Second, func() bool { return got.count() == 64 }, "drained delivery")
+	b.CloseDrain(time.Second)
+	if v := mConnsOpen.Value(); v != open0 {
+		t.Fatalf("transport.conns_open = %d after CloseDrain, want %d", v, open0)
+	}
+}

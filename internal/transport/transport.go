@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"arq/internal/fault"
@@ -56,6 +57,14 @@ var (
 	mFaultDups  = obsv.GetCounter("transport.fault_dups")
 	mFaultDelay = obsv.GetCounter("transport.fault_delays")
 	mConnsOpen  = obsv.GetGauge("transport.conns_open")
+
+	// Self-healing instruments: supervised redials that re-established a
+	// peer link, redial attempts that failed, heartbeat pings sent on
+	// idle connections, and heartbeat probes that went unanswered.
+	mReconnects     = obsv.GetCounter("transport.reconnects")
+	mReconnectFails = obsv.GetCounter("transport.reconnect_failures")
+	mHeartbeats     = obsv.GetCounter("transport.heartbeats")
+	mProbeMisses    = obsv.GetCounter("transport.probe_misses")
 )
 
 // ShedPolicy selects what Send does when a connection's outbox is full.
@@ -74,11 +83,14 @@ const (
 
 // Defaults applied by Listen for zero-valued Options fields.
 const (
-	DefaultOutboxCap      = 1024
-	DefaultSendWait       = 1 * time.Second
-	DefaultWriteWait      = 10 * time.Second
-	DefaultHandshakeWait  = 5 * time.Second
-	DefaultFaultDelayUnit = 1 * time.Millisecond
+	DefaultOutboxCap       = 1024
+	DefaultSendWait        = 1 * time.Second
+	DefaultWriteWait       = 10 * time.Second
+	DefaultHandshakeWait   = 5 * time.Second
+	DefaultFaultDelayUnit  = 1 * time.Millisecond
+	DefaultHeartbeatMisses = 3
+	DefaultRedialBase      = 50 * time.Millisecond
+	DefaultRedialMax       = 2 * time.Second
 )
 
 // Options configures a Transport. Handler is required; everything else
@@ -119,6 +131,22 @@ type Options struct {
 	// steps into wall time on the write loop.
 	Fault     fault.Injector
 	DelayUnit time.Duration
+	// HeartbeatEvery, when positive, enables liveness probing: a
+	// connection with no inbound frame for a full period gets a ping
+	// (transport.heartbeats), and each further silent period counts a
+	// miss (transport.probe_misses); at HeartbeatMisses misses the
+	// connection is declared dead and closed. Heartbeat frames are
+	// transport-internal — the Handler never sees them. 0 disables
+	// probing (dead peers are then caught by ReadIdle alone).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is the unanswered-probe budget before a probed
+	// connection is closed (default DefaultHeartbeatMisses).
+	HeartbeatMisses int
+	// RedialBase and RedialMax bound the supervisor's capped jittered
+	// exponential backoff between redial attempts (defaults
+	// DefaultRedialBase / DefaultRedialMax). See Supervise.
+	RedialBase time.Duration
+	RedialMax  time.Duration
 }
 
 func (o *Options) withDefaults() Options {
@@ -138,6 +166,15 @@ func (o *Options) withDefaults() Options {
 	if out.DelayUnit <= 0 {
 		out.DelayUnit = DefaultFaultDelayUnit
 	}
+	if out.HeartbeatMisses <= 0 {
+		out.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if out.RedialBase <= 0 {
+		out.RedialBase = DefaultRedialBase
+	}
+	if out.RedialMax < out.RedialBase {
+		out.RedialMax = DefaultRedialMax
+	}
 	return out
 }
 
@@ -147,9 +184,11 @@ type Transport struct {
 	opts Options
 	ln   net.Listener
 	wg   sync.WaitGroup
+	stop chan struct{} // closed by shutdown; wakes supervisor and heartbeat loops
 
 	mu     sync.Mutex
 	conns  map[*Conn]struct{}
+	sup    map[string]*supervised // desired peers by advertised listen addr
 	closed bool
 }
 
@@ -163,7 +202,13 @@ func Listen(addr string, opts Options) (*Transport, error) {
 	if err != nil {
 		return nil, err
 	}
-	t := &Transport{opts: opts.withDefaults(), ln: ln, conns: make(map[*Conn]struct{})}
+	t := &Transport{
+		opts:  opts.withDefaults(),
+		ln:    ln,
+		stop:  make(chan struct{}),
+		conns: make(map[*Conn]struct{}),
+		sup:   make(map[string]*supervised),
+	}
 	t.wg.Add(1)
 	go t.acceptLoop()
 	return t, nil
@@ -261,6 +306,7 @@ func (t *Transport) setupConn(nc net.Conn, initiator bool) (*Conn, error) {
 		out:      stream.NewDropRing[outFrame](t.opts.OutboxCap),
 		done:     make(chan struct{}),
 	}
+	c.lastIn.Store(time.Now().UnixNano())
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
@@ -275,6 +321,10 @@ func (t *Transport) setupConn(nc net.Conn, initiator bool) (*Conn, error) {
 	t.wg.Add(2)
 	go c.readLoop()
 	go c.writeLoop()
+	if t.opts.HeartbeatEvery > 0 {
+		t.wg.Add(1)
+		go c.heartbeatLoop()
+	}
 	return c, nil
 }
 
@@ -319,6 +369,7 @@ func (t *Transport) shutdown(drain time.Duration) {
 		conns = append(conns, c)
 	}
 	t.mu.Unlock()
+	close(t.stop)
 	_ = t.ln.Close()
 	if drain > 0 {
 		deadline := time.Now().Add(drain)
@@ -357,6 +408,10 @@ type Conn struct {
 	closeOnce  sync.Once
 	done       chan struct{} // closed when the write loop exits
 	writerDead sync.Once
+
+	// lastIn is the wall-clock ns of the most recent inbound frame; the
+	// heartbeat loop reads it to decide whether the connection is idle.
+	lastIn atomic.Int64
 }
 
 // PeerID returns the node id the peer announced in its hello.
@@ -449,6 +504,15 @@ func (c *Conn) readLoop() {
 		}
 		mMsgsIn.Inc()
 		mBytesIn.Add(int64(m.WireSize()))
+		c.lastIn.Store(time.Now().UnixNano())
+		if m.ID == heartbeatMagic {
+			// Transport-internal liveness traffic: answer pings, absorb
+			// pongs; the Handler never sees either.
+			if m.Type == wire.TypePing {
+				c.enqueue(outFrame{m: &wire.Message{ID: heartbeatMagic, Type: wire.TypePong, TTL: 1}})
+			}
+			continue
+		}
 		c.t.opts.Handler(c, m)
 	}
 }

@@ -57,6 +57,7 @@ type Servent struct {
 	tr    *transport.Transport
 	cap   *Capture       // optional trace capture
 	rules *ruleServer    // optional association-rule routing
+	ckpt  *checkpointer  // optional rule-snapshot persistence
 	fault fault.Injector // optional inbound-wire fault injection
 
 	mu      sync.Mutex
@@ -103,6 +104,10 @@ type Options struct {
 	// Fate.Delay is ignored here — TCP already reorders nothing, and
 	// stalling the read loop would just be Drop with extra steps.
 	Fault fault.Injector
+	// Checkpoint, when non-nil (and Rules is set), persists published
+	// rule snapshots to disk on a publish cadence and enables WarmStart —
+	// the crash-recovery path (see checkpoint.go).
+	Checkpoint *CheckpointConfig
 	// Net, when non-nil, overrides the socket-layer parameters: node id,
 	// outbox capacity and shed policy, read/write deadlines, and a
 	// second fault.Injector applied at the socket boundary (keyed by
@@ -146,6 +151,9 @@ func Listen(addr string, opts Options) (*Servent, error) {
 	if opts.Rules != nil {
 		s.rules = newRuleServer(*opts.Rules)
 		s.rules.start()
+		if opts.Checkpoint != nil {
+			s.ckpt = &checkpointer{cfg: opts.Checkpoint.withDefaults()}
+		}
 	}
 	copy(s.id[:], tr.Addr())
 	return s, nil
@@ -188,6 +196,9 @@ func (s *Servent) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Final checkpoint before the transport goes down: the conn -> node
+	// remap needs the live connection set.
+	s.closeCheckpointer()
 	s.tr.CloseDrain(drainTimeout)
 	if s.rules != nil {
 		// Connection goroutines are done, so no more observations can
@@ -210,6 +221,16 @@ func (s *Servent) Share(name string, size uint32) {
 // transport hello exchange.
 func (s *Servent) ConnectTo(addr string) error {
 	_, err := s.tr.Dial(addr)
+	return err
+}
+
+// SuperviseTo is ConnectTo with self-healing: the transport supervisor
+// redials addr with backoff whenever the connection dies (see
+// transport.Supervise). The redialed connection registers through the
+// normal OnConn path, so rule learning and routing resume on it
+// transparently.
+func (s *Servent) SuperviseTo(addr string) error {
+	_, err := s.tr.Supervise(addr)
 	return err
 }
 
@@ -340,6 +361,7 @@ func (s *Servent) handleQueryHit(from *peerConn, m *wire.Message) {
 	}
 	if s.rules != nil {
 		s.rules.observe(upstream, from.id)
+		s.maybeCheckpoint()
 	}
 	if waiter != nil {
 		select {
